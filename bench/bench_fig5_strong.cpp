@@ -1,0 +1,55 @@
+// Fig. 5 of the paper: strong scaling of the solver on the two production
+// lattices, comparing the overlapped and non-overlapped communication
+// strategies in single and mixed single-half precision.
+//
+//  (a) V = 32^3 x 256: overlap increasingly wins as the GPU count grows;
+//      mixed precision needs >= 8 GPUs (memory footprint); uniform single
+//      already fits on 4.  A deliberately NUMA-misbound series (maroon in
+//      the paper) shows visibly lower performance.
+//  (b) V = 24^3 x 128: the smaller lattice.  The overlapped mixed-precision
+//      solver plateaus beyond ~8 GPUs -- the cudaMemcpyAsync latency
+//      penalty is no longer hidden by the shrunken interior -- and is
+//      overtaken by the non-overlapped variant, the paper's surprise result.
+
+#include "bench_util.h"
+
+using namespace quda;
+using namespace quda::bench;
+
+namespace {
+
+void run_subfigure(const char* title, LatticeDims global, const std::vector<int>& gpus,
+                   const std::vector<SolverSeries>& series) {
+  std::vector<std::vector<parallel::ModeledSolverResult>> results(series.size());
+  for (std::size_t s = 0; s < series.size(); ++s)
+    for (int n : gpus) results[s].push_back(run_point(n, global, series[s]));
+  print_scaling_table(title, gpus, series, results);
+}
+
+} // namespace
+
+int main() {
+  std::printf("Fig. 5: strong scaling on up to 32 GPUs\n");
+
+  run_subfigure(
+      "(a) V = 32^3 x 256 sites", {32, 32, 32, 256}, {4, 8, 16, 32},
+      {
+          {"single, no overlap", Precision::Single, std::nullopt, CommPolicy::NoOverlap},
+          {"single-half, no ovl", Precision::Single, Precision::Half, CommPolicy::NoOverlap},
+          {"single, overlap", Precision::Single, std::nullopt, CommPolicy::Overlap},
+          {"single-half, overlap", Precision::Single, Precision::Half, CommPolicy::Overlap},
+          {"s-h ovl, bad NUMA", Precision::Single, Precision::Half, CommPolicy::Overlap,
+           /*good_numa=*/false},
+      });
+
+  run_subfigure(
+      "(b) V = 24^3 x 128 sites", {24, 24, 24, 128}, {1, 2, 4, 8, 16, 32},
+      {
+          {"single, no overlap", Precision::Single, std::nullopt, CommPolicy::NoOverlap},
+          {"single-half, no ovl", Precision::Single, Precision::Half, CommPolicy::NoOverlap},
+          {"single, overlap", Precision::Single, std::nullopt, CommPolicy::Overlap},
+          {"single-half, overlap", Precision::Single, Precision::Half, CommPolicy::Overlap},
+      });
+
+  return 0;
+}

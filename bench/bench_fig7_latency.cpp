@@ -1,0 +1,57 @@
+// Fig. 7 of the paper: host/device transfer latency microbenchmark.
+//
+// Transfer times for messages of 1 KiB .. 256 KiB in four modes: cudaMemcpy
+// and cudaMemcpyAsync(+synchronize), each in both directions.  The paper's
+// observations to reproduce: cudaMemcpyAsync carries ~50 us of latency
+// against ~11 us for cudaMemcpy (the Tylersburg chipset issue), and the
+// host-to-device and device-to-host curves have different slopes
+// (asymmetric bandwidth).  Timings are averaged over many transfers as in
+// the paper's 500,000-transfer measurement.
+
+#include "gpusim/device.h"
+
+#include <cstdio>
+
+using namespace quda::gpusim;
+
+namespace {
+
+// average per-transfer time over `reps` back-to-back transfers on an
+// otherwise idle device
+double average_transfer_us(const DeviceSpec& spec, std::int64_t bytes, CopyDir dir, bool async,
+                           int reps) {
+  Device dev(spec, BusModel{});
+  double host = 0.0;
+  for (int i = 0; i < reps; ++i) {
+    if (async) {
+      host = dev.memcpy_async(host, 1, bytes, dir);
+      host = dev.stream_synchronize(host, 1); // cudaMemcpyAsync + synchronize
+    } else {
+      host = dev.memcpy_sync(host, bytes, dir);
+    }
+  }
+  return host / reps;
+}
+
+} // namespace
+
+int main() {
+  std::printf("Fig. 7: transfer-time microbenchmark (GeForce GTX 285 node model)\n\n");
+  std::printf("%-10s %18s %18s %22s %22s\n", "bytes", "memcpy d2h (us)", "memcpy h2d (us)",
+              "memcpyAsync d2h (us)", "memcpyAsync h2d (us)");
+
+  const DeviceSpec& spec = geforce_gtx285();
+  const int reps = 500000 / 100; // the model is deterministic; 5000 reps suffice
+  for (std::int64_t bytes = 1 << 10; bytes <= 1 << 18; bytes <<= 1) {
+    const double sd = average_transfer_us(spec, bytes, CopyDir::DeviceToHost, false, reps);
+    const double sh = average_transfer_us(spec, bytes, CopyDir::HostToDevice, false, reps);
+    const double ad = average_transfer_us(spec, bytes, CopyDir::DeviceToHost, true, reps);
+    const double ah = average_transfer_us(spec, bytes, CopyDir::HostToDevice, true, reps);
+    std::printf("%-10lld %18.1f %18.1f %22.1f %22.1f\n", static_cast<long long>(bytes), sd, sh,
+                ad, ah);
+  }
+
+  std::printf("\nexpected structure: ~11 us sync latency vs ~50 us async latency; d2h\n");
+  std::printf("slope steeper than h2d (asymmetric bus bandwidth)\n");
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Google-benchmark microbenchmarks of the *real* (host-executed) kernels:
+// the QUDA-order dslash in all precisions, the fused BLAS kernels, clover
+// application, and the face gather.  These measure the reproduction's own
+// host throughput (useful when hacking on the kernels); the simulated-GPU
+// numbers in the figure benches come from the device model, not from here.
+
+#include "blas/blas.h"
+#include "dirac/clover_term.h"
+#include "dirac/dslash.h"
+#include "dirac/gauge_init.h"
+#include "dirac/transfer.h"
+
+#include <benchmark/benchmark.h>
+
+namespace quda {
+namespace {
+
+struct BenchFixtureData {
+  Geometry g{LatticeDims{8, 8, 8, 16}};
+  HostGaugeField u;
+  HostSpinorField in;
+  HostCloverField t;
+
+  BenchFixtureData() : u(g), in(g) {
+    make_weak_field_gauge(u, 0.2, 99);
+    make_random_spinor(in, 100);
+    t = make_clover_term(u, 1.0);
+    add_diag(t, 4.1);
+  }
+};
+
+const BenchFixtureData& data() {
+  static const BenchFixtureData d;
+  return d;
+}
+
+template <typename P> void BM_Dslash(benchmark::State& state) {
+  const auto& d = data();
+  const GaugeField<P> gauge = upload_gauge<P>(d.u, Reconstruct::Twelve);
+  const SpinorField<P> in = upload_spinor<P>(d.in, Parity::Odd);
+  SpinorField<P> out(d.g);
+  DslashOptions opt;
+  for (auto _ : state) {
+    dslash<P>(out, gauge, in, d.g, opt, 0, d.g.half_volume(), 1, Accumulate::No);
+    benchmark::DoNotOptimize(out.raw_data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * d.g.half_volume());
+}
+BENCHMARK(BM_Dslash<PrecDouble>)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Dslash<PrecSingle>)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Dslash<PrecHalf>)->Unit(benchmark::kMillisecond);
+
+template <typename P> void BM_DslashCompressed(benchmark::State& state) {
+  // 12-real reconstruction vs the 18-real load in BM_DslashFull
+  const auto& d = data();
+  const GaugeField<P> gauge = upload_gauge<P>(
+      d.u, state.range(0) == 12 ? Reconstruct::Twelve : Reconstruct::Eighteen);
+  const SpinorField<P> in = upload_spinor<P>(d.in, Parity::Odd);
+  SpinorField<P> out(d.g);
+  DslashOptions opt;
+  for (auto _ : state) {
+    dslash<P>(out, gauge, in, d.g, opt, 0, d.g.half_volume(), 1, Accumulate::No);
+    benchmark::DoNotOptimize(out.raw_data().data());
+  }
+}
+BENCHMARK(BM_DslashCompressed<PrecSingle>)->Arg(12)->Arg(18)->Unit(benchmark::kMillisecond);
+
+template <typename P> void BM_CloverApply(benchmark::State& state) {
+  const auto& d = data();
+  const CloverField<P> clover = upload_clover<P>(d.t);
+  const SpinorField<P> in = upload_spinor<P>(d.in, Parity::Even);
+  SpinorField<P> out(d.g);
+  for (auto _ : state) {
+    apply_clover_xpay<P>(out, clover, Parity::Even, in, d.g, 0, d.g.half_volume(), 0);
+    benchmark::DoNotOptimize(out.raw_data().data());
+  }
+}
+BENCHMARK(BM_CloverApply<PrecSingle>)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CloverApply<PrecHalf>)->Unit(benchmark::kMillisecond);
+
+template <typename P> void BM_BlasAxpyNorm(benchmark::State& state) {
+  const auto& d = data();
+  const SpinorField<P> x = upload_spinor<P>(d.in, Parity::Even);
+  SpinorField<P> y = upload_spinor<P>(d.in, Parity::Odd);
+  double acc = 0;
+  for (auto _ : state) {
+    acc += blas::axpy_norm(0.001, x, y);
+  }
+  benchmark::DoNotOptimize(acc);
+  state.SetItemsProcessed(state.iterations() * d.g.half_volume());
+}
+BENCHMARK(BM_BlasAxpyNorm<PrecDouble>)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BlasAxpyNorm<PrecSingle>)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BlasAxpyNorm<PrecHalf>)->Unit(benchmark::kMillisecond);
+
+template <typename P> void BM_FacePack(benchmark::State& state) {
+  const auto& d = data();
+  const SpinorField<P> in = upload_spinor<P>(d.in, Parity::Odd);
+  FaceBuffer<P> buf;
+  for (auto _ : state) {
+    pack_face(in, d.g, Parity::Odd, d.g.dims().t - 1, +1, buf);
+    benchmark::DoNotOptimize(buf.data.data());
+  }
+  state.SetItemsProcessed(state.iterations() * d.g.half_spatial_volume());
+}
+BENCHMARK(BM_FacePack<PrecSingle>)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_FacePack<PrecHalf>)->Unit(benchmark::kMicrosecond);
+
+void BM_CloverConstruction(benchmark::State& state) {
+  const auto& d = data();
+  for (auto _ : state) {
+    HostCloverField a = make_clover_term(d.u, 1.0);
+    benchmark::DoNotOptimize(&a[0]);
+  }
+}
+BENCHMARK(BM_CloverConstruction)->Unit(benchmark::kMillisecond);
+
+} // namespace
+} // namespace quda
+
+BENCHMARK_MAIN();

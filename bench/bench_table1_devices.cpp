@@ -1,0 +1,23 @@
+// Table I of the paper: specifications of representative NVIDIA graphics
+// cards, printed from the device registry that parameterizes the simulated
+// GPU layer.
+
+#include "gpusim/device_spec.h"
+
+#include <cstdio>
+
+int main() {
+  std::printf("Table I: specifications of representative NVIDIA graphics cards\n\n");
+  std::printf("%-20s %6s %12s %10s %10s %8s\n", "Card", "Cores", "GB/s BW", "GF 32-bit",
+              "GF 64-bit", "GiB RAM");
+  for (const auto& card : quda::gpusim::representative_cards()) {
+    if (card.gflops_dp > 0)
+      std::printf("%-20s %6d %12.1f %10.0f %10.0f %8.2f\n", card.name.c_str(), card.cores,
+                  card.mem_bandwidth_gbs, card.gflops_sp, card.gflops_dp, card.ram_gib);
+    else
+      std::printf("%-20s %6d %12.1f %10.0f %10s %8.2f\n", card.name.c_str(), card.cores,
+                  card.mem_bandwidth_gbs, card.gflops_sp, "N/A", card.ram_gib);
+  }
+  std::printf("\n(the paper's test bed is the GeForce GTX 285 with 2 GiB)\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+#pragma once
+// Shared helpers for the benchmark binaries: each bench regenerates one
+// table or figure of the paper, printing the same rows/series the paper
+// plots.  Absolute numbers come from the calibrated device model; the
+// shapes (who wins, by what factor, where the crossovers fall) are the
+// reproduction targets recorded in EXPERIMENTS.md.
+
+#include "parallel/modeled_solver.h"
+#include "sim/event_sim.h"
+
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace quda::bench {
+
+struct SolverSeries {
+  std::string label;
+  Precision outer;
+  std::optional<Precision> sloppy;
+  CommPolicy policy;
+  bool good_numa = true;
+};
+
+// run one modeled-solver data point: global volume split over `ranks` GPUs
+inline parallel::ModeledSolverResult run_point(int ranks, LatticeDims global,
+                                               const SolverSeries& series,
+                                               int iterations = 100) {
+  sim::ClusterSpec spec = sim::ClusterSpec::jlab_9g(ranks);
+  spec.good_numa_binding = series.good_numa;
+  sim::VirtualCluster cluster(spec);
+
+  parallel::ModeledSolverConfig cfg;
+  cfg.local = global;
+  cfg.local.t = global.t / ranks;
+  cfg.outer = series.outer;
+  cfg.sloppy = series.sloppy;
+  cfg.policy = series.policy;
+  cfg.iterations = iterations;
+  return parallel::run_modeled_solver(cluster, cfg);
+}
+
+// weak scaling variant: `local` is the per-GPU volume
+inline parallel::ModeledSolverResult run_weak_point(int ranks, LatticeDims local,
+                                                    const SolverSeries& series,
+                                                    int iterations = 100) {
+  sim::ClusterSpec spec = sim::ClusterSpec::jlab_9g(ranks);
+  spec.good_numa_binding = series.good_numa;
+  sim::VirtualCluster cluster(spec);
+
+  parallel::ModeledSolverConfig cfg;
+  cfg.local = local;
+  cfg.outer = series.outer;
+  cfg.sloppy = series.sloppy;
+  cfg.policy = series.policy;
+  cfg.iterations = iterations;
+  return parallel::run_modeled_solver(cluster, cfg);
+}
+
+inline void print_scaling_table(const char* title, const std::vector<int>& gpu_counts,
+                                const std::vector<SolverSeries>& series,
+                                const std::vector<std::vector<parallel::ModeledSolverResult>>&
+                                    results /* [series][point] */) {
+  std::printf("\n%s\n", title);
+  std::printf("%-6s", "GPUs");
+  for (const auto& s : series) std::printf("  %22s", s.label.c_str());
+  std::printf("\n");
+  for (std::size_t p = 0; p < gpu_counts.size(); ++p) {
+    std::printf("%-6d", gpu_counts[p]);
+    for (std::size_t s = 0; s < series.size(); ++s) {
+      const auto& r = results[s][p];
+      if (!r.fits)
+        std::printf("  %22s", "OOM");
+      else
+        std::printf("  %18.1f GF", r.effective_gflops);
+    }
+    std::printf("\n");
+  }
+}
+
+} // namespace quda::bench

@@ -1,0 +1,77 @@
+// Multi-GPU scaling walk-through: the same solve on growing simulated GPU
+// partitions, demonstrating (a) that the time-sliced decomposition leaves
+// the answer unchanged, and (b) how simulated time falls and aggregate
+// sustained Gflops rises -- then a paper-scale strong-scaling sweep in
+// timing-only mode, comparing the two communication policies.
+
+#include "core/quda_api.h"
+#include "dirac/gauge_init.h"
+#include "parallel/modeled_solver.h"
+
+#include <cstdio>
+
+using namespace quda;
+
+int main() {
+  // --- part 1: real arithmetic on a small lattice ----------------------------
+  const Geometry geom({8, 8, 8, 16});
+  std::printf("part 1: real solves of an %s system on 1..4 simulated GPUs\n",
+              geom.dims().to_string().c_str());
+
+  HostGaugeField gauge(geom);
+  make_weak_field_gauge(gauge, 0.2, 31415);
+  HostSpinorField b(geom);
+  make_random_spinor(b, 92653);
+
+  InvertParams params;
+  params.mass = 0.08;
+  params.csw = 1.0;
+  params.precision = Precision::Double;
+  params.tol = 1e-10;
+  params.max_iter = 2000;
+
+  HostSpinorField x_ref(geom);
+  std::printf("  %4s %10s %14s %14s %18s\n", "GPUs", "iters", "time (ms)", "Gflops",
+              "|x - x_1gpu| / |x|");
+  for (int ranks : {1, 2, 4}) {
+    HostSpinorField x(geom);
+    const InvertResult r = invert_multi_gpu(sim::ClusterSpec::jlab_9g(ranks), gauge, b, x, params);
+    double diff = 0, den = 0;
+    if (ranks == 1) {
+      x_ref = x;
+    } else {
+      for (std::int64_t i = 0; i < geom.volume(); ++i) {
+        diff += norm2(x[i] - x_ref[i]);
+        den += norm2(x_ref[i]);
+      }
+    }
+    std::printf("  %4d %10d %14.2f %14.1f %18.2e\n", ranks, r.stats.iterations,
+                r.simulated_time_us / 1e3, r.effective_gflops,
+                ranks == 1 ? 0.0 : std::sqrt(diff / den));
+  }
+
+  std::printf("\n  (on a lattice this small the faces dwarf the interior, so adding GPUs\n");
+  std::printf("  *slows the solve down* -- the strong-scaling overhead regime; the\n");
+  std::printf("  decomposition still changes nothing about the answer, which is the point)\n");
+
+  // --- part 2: paper-scale strong scaling in timing-only mode ----------------
+  std::printf("\npart 2: modeled strong scaling of the 32^3 x 256 production lattice\n");
+  std::printf("  %4s %24s %24s\n", "GPUs", "no overlap (Gflops)", "overlap (Gflops)");
+  for (int ranks : {8, 16, 32}) {
+    double gflops[2];
+    int k = 0;
+    for (CommPolicy policy : {CommPolicy::NoOverlap, CommPolicy::Overlap}) {
+      sim::VirtualCluster cluster(sim::ClusterSpec::jlab_9g(ranks));
+      parallel::ModeledSolverConfig cfg;
+      cfg.local = {32, 32, 32, 256 / ranks};
+      cfg.outer = Precision::Single;
+      cfg.sloppy = Precision::Half;
+      cfg.policy = policy;
+      cfg.iterations = 100;
+      gflops[k++] = parallel::run_modeled_solver(cluster, cfg).effective_gflops;
+    }
+    std::printf("  %4d %24.1f %24.1f\n", ranks, gflops[0], gflops[1]);
+  }
+  std::printf("\n(the overlapped solver pulls ahead as the partition grows -- Fig. 5(a))\n");
+  return 0;
+}

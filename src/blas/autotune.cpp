@@ -1,0 +1,44 @@
+#include "blas/autotune.h"
+
+#include <sstream>
+
+namespace quda::blas {
+
+double AutoTuner::duration_at(const gpusim::KernelCost& cost, int block_size,
+                              bool double_precision) const {
+  return gpusim::kernel_duration_us(cost, {block_size, 0}, device_, double_precision);
+}
+
+const TuneParam& AutoTuner::tune(const std::string& key, const gpusim::KernelCost& cost,
+                                 bool double_precision) {
+  auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second;
+
+  TuneParam best;
+  best.time_us = -1;
+  for (int block = 64; block <= 512; block += 64) {
+    const double t = duration_at(cost, block, double_precision);
+    if (best.time_us < 0 || t < best.time_us) {
+      best.time_us = t;
+      best.launch.block_size = block;
+    }
+  }
+  return cache_.emplace(key, best).first->second;
+}
+
+std::string AutoTuner::export_header() const {
+  std::ostringstream os;
+  os << "// auto-generated kernel launch parameters for " << device_.name << "\n";
+  os << "// (regenerate by re-running the tuning sweep)\n";
+  for (const auto& [key, param] : cache_) {
+    std::string macro = key;
+    for (char& c : macro) {
+      if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    }
+    os << "#define BLOCKDIM_" << macro << " " << param.launch.block_size << "\n";
+  }
+  return os.str();
+}
+
+} // namespace quda::blas

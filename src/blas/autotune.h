@@ -1,0 +1,46 @@
+#pragma once
+// Auto-tuning of kernel launch parameters (Section V-E of the paper).
+//
+// QUDA benchmarks every BLAS kernel (and each of its half/single/double
+// variants) over all admissible thread-block/grid configurations and writes
+// the optimal values to a header file that is compiled into the production
+// library.  We reproduce that workflow against the simulated device: sweep
+// the launch space, cache the winner per kernel key, and export the cache
+// in a header-like format.
+
+#include "gpusim/kernel_model.h"
+
+#include <map>
+#include <string>
+
+namespace quda::blas {
+
+struct TuneParam {
+  gpusim::LaunchConfig launch{};
+  double time_us = 0; // modeled kernel duration at the optimum
+};
+
+class AutoTuner {
+public:
+  explicit AutoTuner(const gpusim::DeviceSpec& device) : device_(device) {}
+
+  // sweep thread-block sizes (multiples of 64, the hardware constraint of
+  // Section III) for this kernel's cost profile; cached per key
+  const TuneParam& tune(const std::string& key, const gpusim::KernelCost& cost,
+                        bool double_precision = false);
+
+  // duration the kernel would have at a given (possibly untuned) block size
+  double duration_at(const gpusim::KernelCost& cost, int block_size,
+                     bool double_precision = false) const;
+
+  std::size_t cache_size() const { return cache_.size(); }
+
+  // the "write out to a header file for inclusion in production code" step
+  std::string export_header() const;
+
+private:
+  gpusim::DeviceSpec device_;
+  std::map<std::string, TuneParam> cache_;
+};
+
+} // namespace quda::blas

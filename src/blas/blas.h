@@ -1,0 +1,196 @@
+#pragma once
+// Vector-vector (BLAS1-like) kernels on device spinor fields, mirroring
+// QUDA's fused linear-algebra kernels (Section V-E).  Where a solver needs
+// several elementary operations on the same vectors they are fused into one
+// kernel (one load/store sweep) -- e.g. the BiCGstab search-direction update
+// p = r + beta*(p - omega*v) is a single kernel, as is the solution update
+// x += alpha*p + omega*s.  The auto-tuner in blas/autotune.h picks launch
+// geometry for these kernels in the simulated device model.
+//
+// Reductions return *local* sums; global sums across ranks are the
+// responsibility of the caller (the solvers route them through their
+// operator's global_sum hook, which the parallel operator implements with
+// QMP/MPI reductions -- the only solver-level change multi-GPU required,
+// Section VI-E).
+
+#include "lattice/spinor_field.h"
+#include "su3/gamma.h"
+
+#include <cstdint>
+
+namespace quda::blas {
+
+template <typename P> void copy(SpinorField<P>& dst, const SpinorField<P>& src) {
+  for (std::int64_t i = 0; i < src.sites(); ++i) dst.store(i, src.load(i));
+}
+
+template <typename P> double norm2(const SpinorField<P>& x) {
+  double n = 0;
+  for (std::int64_t i = 0; i < x.sites(); ++i) {
+    const auto s = x.load(i);
+    n += static_cast<double>(quda::norm2(s));
+  }
+  return n;
+}
+
+template <typename P> complexd cdot(const SpinorField<P>& a, const SpinorField<P>& b) {
+  complexd d{};
+  for (std::int64_t i = 0; i < a.sites(); ++i) {
+    const auto da = dot(a.load(i), b.load(i));
+    d += complexd(static_cast<double>(da.re), static_cast<double>(da.im));
+  }
+  return d;
+}
+
+// y += a * x
+template <typename P>
+void axpy(double a, const SpinorField<P>& x, SpinorField<P>& y) {
+  using real_t = typename P::real_t;
+  const real_t ar = static_cast<real_t>(a);
+  for (std::int64_t i = 0; i < x.sites(); ++i) {
+    auto yi = y.load(i);
+    yi += x.load(i) * ar;
+    y.store(i, yi);
+  }
+}
+
+// y = x + a * y
+template <typename P>
+void xpay(const SpinorField<P>& x, double a, SpinorField<P>& y) {
+  using real_t = typename P::real_t;
+  const real_t ar = static_cast<real_t>(a);
+  for (std::int64_t i = 0; i < x.sites(); ++i) {
+    auto yi = y.load(i);
+    yi *= ar;
+    yi += x.load(i);
+    y.store(i, yi);
+  }
+}
+
+// y = a * x + b * y
+template <typename P>
+void axpby(double a, const SpinorField<P>& x, double b, SpinorField<P>& y) {
+  using real_t = typename P::real_t;
+  for (std::int64_t i = 0; i < x.sites(); ++i) {
+    auto yi = y.load(i);
+    yi *= static_cast<real_t>(b);
+    yi += x.load(i) * static_cast<real_t>(a);
+    y.store(i, yi);
+  }
+}
+
+// y += a * x, complex a
+template <typename P>
+void caxpy(const complexd& a, const SpinorField<P>& x, SpinorField<P>& y) {
+  using real_t = typename P::real_t;
+  const Complex<real_t> ar(static_cast<real_t>(a.re), static_cast<real_t>(a.im));
+  for (std::int64_t i = 0; i < x.sites(); ++i) {
+    auto yi = y.load(i);
+    auto xi = x.load(i);
+    xi *= ar;
+    yi += xi;
+    y.store(i, yi);
+  }
+}
+
+// fused: y += a*x, then return ||y||^2 (QUDA's axpyNorm)
+template <typename P>
+double axpy_norm(double a, const SpinorField<P>& x, SpinorField<P>& y) {
+  using real_t = typename P::real_t;
+  const real_t ar = static_cast<real_t>(a);
+  double n = 0;
+  for (std::int64_t i = 0; i < x.sites(); ++i) {
+    auto yi = y.load(i);
+    yi += x.load(i) * ar;
+    y.store(i, yi);
+    n += static_cast<double>(quda::norm2(yi));
+  }
+  return n;
+}
+
+// fused: y = x - y, then return ||y||^2 (QUDA's xmyNorm)
+template <typename P>
+double xmy_norm(const SpinorField<P>& x, SpinorField<P>& y) {
+  double n = 0;
+  for (std::int64_t i = 0; i < x.sites(); ++i) {
+    auto yi = x.load(i);
+    yi -= y.load(i);
+    y.store(i, yi);
+    n += static_cast<double>(quda::norm2(yi));
+  }
+  return n;
+}
+
+// fused BiCGstab search-direction update: p = r + beta * (p - omega * v)
+template <typename P>
+void bicgstab_p_update(SpinorField<P>& p, const SpinorField<P>& r, const SpinorField<P>& v,
+                       const complexd& beta, const complexd& omega) {
+  using real_t = typename P::real_t;
+  const Complex<real_t> b(static_cast<real_t>(beta.re), static_cast<real_t>(beta.im));
+  const Complex<real_t> bw(static_cast<real_t>((beta * omega).re),
+                           static_cast<real_t>((beta * omega).im));
+  for (std::int64_t i = 0; i < p.sites(); ++i) {
+    auto pi = p.load(i);
+    auto vi = v.load(i);
+    vi *= bw;
+    pi *= b;
+    pi -= vi;
+    pi += r.load(i);
+    p.store(i, pi);
+  }
+}
+
+// fused BiCGstab solution update: x += alpha * p + omega * s
+template <typename P>
+void bicgstab_x_update(SpinorField<P>& x, const complexd& alpha, const SpinorField<P>& p,
+                       const complexd& omega, const SpinorField<P>& s) {
+  using real_t = typename P::real_t;
+  const Complex<real_t> a(static_cast<real_t>(alpha.re), static_cast<real_t>(alpha.im));
+  const Complex<real_t> w(static_cast<real_t>(omega.re), static_cast<real_t>(omega.im));
+  for (std::int64_t i = 0; i < x.sites(); ++i) {
+    auto xi = x.load(i);
+    auto pi = p.load(i);
+    auto si = s.load(i);
+    pi *= a;
+    si *= w;
+    xi += pi;
+    xi += si;
+    x.store(i, xi);
+  }
+}
+
+// fused: r = s - omega * t, returning <r, r> and <r, r0> for the next
+// iteration's convergence check and rho (QUDA fuses these reductions)
+template <typename P>
+void bicgstab_r_update(SpinorField<P>& r, const SpinorField<P>& s, const SpinorField<P>& t,
+                       const complexd& omega, double& r2, complexd& rho_next,
+                       const SpinorField<P>& r0) {
+  using real_t = typename P::real_t;
+  const Complex<real_t> w(static_cast<real_t>(omega.re), static_cast<real_t>(omega.im));
+  r2 = 0;
+  rho_next = complexd{};
+  for (std::int64_t i = 0; i < r.sites(); ++i) {
+    auto ti = t.load(i);
+    ti *= w;
+    auto ri = s.load(i);
+    ri -= ti;
+    r.store(i, ri);
+    r2 += static_cast<double>(quda::norm2(ri));
+    const auto d = dot(r0.load(i), ri);
+    rho_next += complexd(static_cast<double>(d.re), static_cast<double>(d.im));
+  }
+}
+
+// out = gamma_5 in (aliasing-safe: pointwise in spin)
+template <typename P>
+void apply_gamma5(SpinorField<P>& out, const SpinorField<P>& in) {
+  const SpinMatrix& g5 = gamma5(GammaBasis::NonRelativistic);
+  for (std::int64_t i = 0; i < in.sites(); ++i)
+    out.store(i, apply_spin(g5, in.load(i)));
+}
+
+} // namespace quda::blas
+
+namespace quda {
+using blas::apply_gamma5;
+}

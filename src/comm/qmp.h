@@ -1,0 +1,131 @@
+#pragma once
+// A QMP-flavored message-passing layer (QCD Message Passing, [22] in the
+// paper) on top of the simulated cluster.  QMP is a thin convenience API
+// over MPI providing logical lattice topologies and the handful of
+// primitives an LQCD code needs.
+//
+// The paper's production configuration is a 1-D logical topology over the
+// time direction; the multi-dimensional decomposition it lists as future
+// work uses a full 4-D torus, which QmpGrid supports (rank coordinates run
+// x fastest, mirroring QMP_declare_logical_topology).
+
+#include "lattice/spinor_field.h" // PartitionMask
+#include "sim/event_sim.h"
+
+#include <array>
+#include <cstring>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace quda::comm {
+
+enum class Direction : int { Backward = 0, Forward = 1 };
+
+struct GridTopology {
+  std::array<int, 4> dims{1, 1, 1, 1}; // ranks per dimension
+
+  static GridTopology time_only(int ranks) { return {{1, 1, 1, ranks}}; }
+
+  int num_ranks() const { return dims[0] * dims[1] * dims[2] * dims[3]; }
+
+  std::array<int, 4> coords(int rank) const {
+    std::array<int, 4> c{};
+    for (int mu = 0; mu < 4; ++mu) {
+      c[static_cast<std::size_t>(mu)] = rank % dims[static_cast<std::size_t>(mu)];
+      rank /= dims[static_cast<std::size_t>(mu)];
+    }
+    return c;
+  }
+
+  int rank_of(const std::array<int, 4>& c) const {
+    int r = 0;
+    for (int mu = 3; mu >= 0; --mu)
+      r = r * dims[static_cast<std::size_t>(mu)] + c[static_cast<std::size_t>(mu)];
+    return r;
+  }
+
+  bool partitioned(int mu) const { return dims[static_cast<std::size_t>(mu)] > 1; }
+
+  PartitionMask partition_mask() const {
+    return {partitioned(0), partitioned(1), partitioned(2), partitioned(3)};
+  }
+};
+
+class QmpGrid {
+public:
+  // the paper's 1-D ring over time
+  explicit QmpGrid(sim::RankContext& ctx)
+      : ctx_(ctx), topo_(GridTopology::time_only(ctx.size())) {}
+
+  // general 4-D torus
+  QmpGrid(sim::RankContext& ctx, const GridTopology& topo) : ctx_(ctx), topo_(topo) {
+    if (topo.num_ranks() != ctx.size())
+      throw std::invalid_argument("grid topology does not match the cluster size");
+  }
+
+  int rank() const { return ctx_.rank(); }
+  int size() const { return ctx_.size(); }
+  bool is_parallel() const { return size() > 1; }
+  const GridTopology& topology() const { return topo_; }
+  bool partitioned(int mu) const { return topo_.partitioned(mu); }
+
+  int neighbor(int mu, int dir) const {
+    auto c = topo_.coords(rank());
+    const int n = topo_.dims[static_cast<std::size_t>(mu)];
+    c[static_cast<std::size_t>(mu)] = (c[static_cast<std::size_t>(mu)] + (dir > 0 ? 1 : n - 1)) % n;
+    return topo_.rank_of(c);
+  }
+
+  // 1-D temporal wrappers
+  int neighbor(Direction d) const { return neighbor(3, d == Direction::Forward ? +1 : -1); }
+
+  // does this rank own a global edge of dimension mu (where the fermion BC
+  // phase applies -- the "extra constants" of Section VI-B)?
+  bool owns_global_edge(int mu, int dir) const {
+    const auto c = topo_.coords(rank());
+    return dir > 0 ? c[static_cast<std::size_t>(mu)] == topo_.dims[static_cast<std::size_t>(mu)] - 1
+                   : c[static_cast<std::size_t>(mu)] == 0;
+  }
+  bool owns_global_backward_edge() const { return owns_global_edge(3, -1); }
+  bool owns_global_forward_edge() const { return owns_global_edge(3, +1); }
+
+  // --- face exchange helpers ---------------------------------------------------
+
+  // ship a byte payload to the (mu, dir) neighbor (empty payload in Modeled
+  // mode -- the network model charges `modeled_bytes` either way)
+  void send_to(int mu, int dir, int tag, std::vector<std::byte> payload,
+               std::int64_t modeled_bytes) {
+    ctx_.isend(neighbor(mu, dir), tag, std::move(payload), modeled_bytes);
+  }
+  void send_to(Direction d, int tag, std::vector<std::byte> payload,
+               std::int64_t modeled_bytes) {
+    send_to(3, d == Direction::Forward ? +1 : -1, tag, std::move(payload), modeled_bytes);
+  }
+
+  sim::RankContext::PendingRecv post_receive(int mu, int dir, int tag) {
+    return ctx_.irecv(neighbor(mu, dir), tag);
+  }
+  sim::RankContext::PendingRecv post_receive(Direction from, int tag) {
+    return post_receive(3, from == Direction::Forward ? +1 : -1, tag);
+  }
+
+  std::vector<std::byte> wait_receive(const sim::RankContext::PendingRecv& pending) {
+    return ctx_.wait(pending).take_payload();
+  }
+
+  // --- collectives -------------------------------------------------------------
+
+  double sum(double local) { return ctx_.allreduce_sum(local); }
+  void sum(double* values, int count) { ctx_.allreduce_sum(values, count); }
+
+  void barrier() { ctx_.barrier(); }
+
+  sim::RankContext& context() { return ctx_; }
+
+private:
+  sim::RankContext& ctx_;
+  GridTopology topo_;
+};
+
+} // namespace quda::comm

@@ -1,0 +1,315 @@
+#include "core/quda_api.h"
+
+#include "blas/blas.h"
+#include "core/partition.h"
+#include "dirac/clover_term.h"
+#include "dirac/transfer.h"
+#include "parallel/parallel_op.h"
+#include "sim/event_sim.h"
+#include "solvers/bicgstab.h"
+#include "solvers/cg.h"
+#include "solvers/mixed_precision.h"
+
+#include <stdexcept>
+
+namespace quda {
+
+namespace {
+
+using comm::GridTopology;
+using core::local_geometry;
+using core::merge_spinor;
+using core::slice_clover;
+using core::slice_gauge;
+using core::slice_spinor;
+using parallel::ParallelWilsonCloverOp;
+
+// resolve the InvertParams grid against the cluster: all-ones means the
+// paper's 1-D time slicing sized to the rank count
+GridTopology resolve_topology(const InvertParams& p, int n_ranks) {
+  const bool trivial = p.grid[0] == 1 && p.grid[1] == 1 && p.grid[2] == 1 && p.grid[3] == 1;
+  GridTopology topo = trivial ? GridTopology::time_only(n_ranks)
+                              : GridTopology{{p.grid[0], p.grid[1], p.grid[2], p.grid[3]}};
+  if (topo.num_ranks() != n_ranks)
+    throw std::invalid_argument("rank grid does not match the cluster size");
+  return topo;
+}
+using sim::RankContext;
+using sim::VirtualCluster;
+
+// everything a rank needs to build its operators at one precision
+template <typename P> struct RankFields {
+  GaugeField<P> gauge;
+  CloverField<P> clover;
+  CloverField<P> clover_inv;
+
+  RankFields(comm::QmpGrid& grid, const Geometry& lg, const HostGaugeField& lu,
+             const HostCloverField& lt, const HostCloverField& ltinv, Reconstruct recon)
+      : gauge(upload_gauge<P>(lu, recon)),
+        clover(upload_clover<P>(lt)),
+        clover_inv(upload_clover<P>(ltinv)) {
+    // register the footprint with the simulated device: this is where a
+    // too-large problem fails with bad_alloc, as on the real cards
+    auto& dev = grid.context().device();
+    dev.malloc_bytes(gauge.device_bytes());
+    dev.malloc_bytes(clover.device_bytes() + clover_inv.device_bytes());
+    parallel::exchange_gauge_ghost<P>(grid, lg, &gauge, Execution::Real);
+  }
+};
+
+// a device spinor registered with the allocator, shaped for the grid's
+// decomposition
+template <typename P>
+SpinorField<P> make_vector(comm::QmpGrid& grid, const Geometry& lg) {
+  SpinorField<P> f(lg, grid.topology().partition_mask());
+  grid.context().device().malloc_bytes(f.device_bytes());
+  return f;
+}
+
+struct RankOutcome {
+  SolverStats stats;
+  HostSpinorField x_local;
+  double effective_flops = 0;
+  std::int64_t bytes_peak = 0;
+  double setup_done_us = 0;
+  double solve_done_us = 0;
+};
+
+// the solver vectors BiCGstab allocates internally are charged here so the
+// device-memory gate reflects the full solve footprint
+template <typename P>
+void charge_solver_vectors(comm::QmpGrid& grid, const Geometry& lg, int count) {
+  SpinorField<P> probe(lg, grid.topology().partition_mask());
+  grid.context().device().malloc_bytes(count * probe.device_bytes());
+}
+
+template <typename POuter>
+SolverStats dispatch_uniform(ParallelWilsonCloverOp<POuter>& op, SpinorField<POuter>& x,
+                             const SpinorField<POuter>& b, const InvertParams& p) {
+  SolverParams sp;
+  sp.tol = p.tol;
+  sp.delta = p.delta;
+  sp.max_iter = p.max_iter;
+  sp.verbose = p.verbose;
+  if (p.solver == SolverType::CG) return solve_cgnr(op, x, b, sp);
+  return solve_bicgstab(op, x, b, sp);
+}
+
+template <typename POuter, typename PSloppy>
+SolverStats dispatch_mixed(ParallelWilsonCloverOp<POuter>& op_hi,
+                           ParallelWilsonCloverOp<PSloppy>& op_lo, SpinorField<POuter>& x,
+                           const SpinorField<POuter>& b, const InvertParams& p) {
+  SolverParams sp;
+  sp.tol = p.tol;
+  sp.delta = p.delta;
+  sp.max_iter = p.max_iter;
+  sp.verbose = p.verbose;
+  if (p.solver == SolverType::CG)
+    throw std::invalid_argument("mixed-precision CG is not provided; use BiCGstab");
+  if (p.mixed_strategy == MixedStrategy::DefectCorrection)
+    return solve_defect_correction(op_hi, op_lo, x, b, sp);
+  return solve_bicgstab_reliable(op_hi, op_lo, x, b, sp);
+}
+
+// per-rank solve at outer precision POuter (and optional sloppy PSloppy)
+template <typename POuter, typename PSloppy>
+RankOutcome rank_solve(RankContext& ctx, const GridTopology& topo, const Geometry& lg,
+                       const HostGaugeField& lu, const HostCloverField& lt,
+                       const HostCloverField& ltinv, const HostSpinorField& lb,
+                       const InvertParams& p, bool mixed) {
+  comm::QmpGrid grid(ctx, topo);
+  RankOutcome out;
+
+  OperatorParams op_params;
+  op_params.mass = p.mass;
+  op_params.time_bc = p.time_bc;
+
+  RankFields<POuter> hi(grid, lg, lu, lt, ltinv, p.reconstruct);
+  ParallelWilsonCloverOp<POuter> op_hi(grid, lg, hi.gauge, hi.clover, hi.clover_inv, op_params,
+                                       p.overlap);
+
+  const PartitionMask mask = topo.partition_mask();
+  SpinorField<POuter> b_e = upload_spinor<POuter>(lb, Parity::Even, mask);
+  SpinorField<POuter> b_o = upload_spinor<POuter>(lb, Parity::Odd, mask);
+  SpinorField<POuter> bprime = make_vector<POuter>(grid, lg);
+  SpinorField<POuter> x_e = make_vector<POuter>(grid, lg);
+  SpinorField<POuter> x_o = make_vector<POuter>(grid, lg);
+  ctx.device().malloc_bytes(b_e.device_bytes() + b_o.device_bytes());
+  charge_solver_vectors<POuter>(grid, lg, 6); // r, r0, p, v, s, t
+
+  op_hi.prepare_source(bprime, b_e, b_o);
+
+  if (!mixed) {
+    grid.barrier();
+    out.setup_done_us = ctx.clock().now_us;
+    out.stats = dispatch_uniform(op_hi, x_e, bprime, p);
+    out.effective_flops = op_hi.effective_flops();
+  } else {
+    using PS = PSloppy;
+    RankFields<PS> lo(grid, lg, lu, lt, ltinv, Reconstruct::Twelve);
+    ParallelWilsonCloverOp<PS> op_lo(grid, lg, lo.gauge, lo.clover, lo.clover_inv, op_params,
+                                     p.overlap);
+    charge_solver_vectors<PS>(grid, lg, 7); // sloppy r, r0, p, v, s, t, x
+    grid.barrier();
+    out.setup_done_us = ctx.clock().now_us;
+    out.stats = dispatch_mixed(op_hi, op_lo, x_e, bprime, p);
+    out.effective_flops = op_hi.effective_flops() + op_lo.effective_flops();
+  }
+
+  op_hi.reconstruct_odd(x_o, x_e, b_o);
+  grid.barrier();
+  out.solve_done_us = ctx.clock().now_us;
+
+  out.x_local = HostSpinorField(lg);
+  download_spinor(x_e, Parity::Even, out.x_local);
+  download_spinor(x_o, Parity::Odd, out.x_local);
+  out.bytes_peak = ctx.device().bytes_peak();
+  return out;
+}
+
+void validate(const InvertParams& p) {
+  if (p.precision == Precision::Half)
+    throw std::invalid_argument("half precision is a sloppy precision, not an outer one");
+  if (p.sloppy && bytes_per_real(*p.sloppy) > bytes_per_real(p.precision))
+    throw std::invalid_argument("sloppy precision must not exceed the outer precision");
+}
+
+} // namespace
+
+InvertResult invert_multi_gpu(const sim::ClusterSpec& cluster_spec, const HostGaugeField& gauge,
+                              const HostSpinorField& b, HostSpinorField& x,
+                              const InvertParams& params) {
+  validate(params);
+  const Geometry& g = gauge.geom();
+  const int n_ranks = cluster_spec.num_ranks();
+  const GridTopology topo = resolve_topology(params, n_ranks);
+  (void)local_geometry(g, topo); // validate divisibility up front
+
+  // clover term: built once on the global lattice (boundary leaves need
+  // cross-rank links, exactly why Chroma hands QUDA a finished clover field)
+  HostCloverField t = make_clover_term(gauge, params.csw);
+  add_diag(t, 4.0 + params.mass);
+  const HostCloverField tinv = invert_clover(t);
+
+  // rotate the source into the internal basis
+  HostSpinorField b_nr(g);
+  for (std::int64_t i = 0; i < g.volume(); ++i)
+    b_nr[i] = rotate_basis(params.interface_basis, GammaBasis::NonRelativistic, b[i]);
+
+  VirtualCluster cluster(cluster_spec);
+  std::vector<RankOutcome> outcomes(static_cast<std::size_t>(n_ranks));
+
+  cluster.run([&](RankContext& ctx) {
+    const int rank = ctx.rank();
+    const Geometry local = local_geometry(g, topo);
+    const HostGaugeField lu = slice_gauge(gauge, topo, rank);
+    const HostCloverField lt = slice_clover(t, topo, rank);
+    const HostCloverField ltinv = slice_clover(tinv, topo, rank);
+    const HostSpinorField lb = slice_spinor(b_nr, topo, rank);
+
+    RankOutcome& out = outcomes[static_cast<std::size_t>(rank)];
+    const bool mixed = params.sloppy && *params.sloppy != params.precision;
+
+    if (params.precision == Precision::Double) {
+      if (!mixed)
+        out = rank_solve<PrecDouble, PrecDouble>(ctx, topo, local, lu, lt, ltinv, lb, params,
+                                                 false);
+      else if (*params.sloppy == Precision::Single)
+        out = rank_solve<PrecDouble, PrecSingle>(ctx, topo, local, lu, lt, ltinv, lb, params,
+                                                 true);
+      else
+        out = rank_solve<PrecDouble, PrecHalf>(ctx, topo, local, lu, lt, ltinv, lb, params,
+                                               true);
+    } else {
+      if (!mixed)
+        out = rank_solve<PrecSingle, PrecSingle>(ctx, topo, local, lu, lt, ltinv, lb, params,
+                                                 false);
+      else
+        out = rank_solve<PrecSingle, PrecHalf>(ctx, topo, local, lu, lt, ltinv, lb, params,
+                                               true);
+    }
+  });
+
+  // merge and rotate back to the interface basis
+  HostSpinorField x_nr(g);
+  for (int r = 0; r < n_ranks; ++r)
+    merge_spinor(x_nr, outcomes[static_cast<std::size_t>(r)].x_local, topo, r);
+  if (x.geom().volume() != g.volume()) x = HostSpinorField(g);
+  for (std::int64_t i = 0; i < g.volume(); ++i)
+    x[i] = rotate_basis(GammaBasis::NonRelativistic, params.interface_basis, x_nr[i]);
+
+  InvertResult result;
+  result.stats = outcomes[0].stats;
+  double total_flops = 0;
+  for (const auto& o : outcomes) {
+    total_flops += o.effective_flops;
+    result.device_bytes_peak = std::max(result.device_bytes_peak, o.bytes_peak);
+  }
+  result.simulated_time_us = outcomes[0].solve_done_us - outcomes[0].setup_done_us;
+  result.effective_gflops =
+      result.simulated_time_us > 0 ? total_flops / (result.simulated_time_us * 1e3) : 0.0;
+  return result;
+}
+
+InvertResult invert(const HostGaugeField& gauge, const HostSpinorField& b, HostSpinorField& x,
+                    const InvertParams& params) {
+  return invert_multi_gpu(sim::ClusterSpec::jlab_9g(1), gauge, b, x, params);
+}
+
+void apply_matrix_multi_gpu(const sim::ClusterSpec& cluster_spec, const HostGaugeField& gauge,
+                            const HostSpinorField& in, HostSpinorField& out,
+                            const InvertParams& params) {
+  validate(params);
+  const Geometry& g = gauge.geom();
+  const int n_ranks = cluster_spec.num_ranks();
+  const GridTopology topo = resolve_topology(params, n_ranks);
+
+  HostCloverField t = make_clover_term(gauge, params.csw);
+  add_diag(t, 4.0 + params.mass);
+  const HostCloverField tinv = invert_clover(t);
+
+  HostSpinorField in_nr(g);
+  for (std::int64_t i = 0; i < g.volume(); ++i)
+    in_nr[i] = rotate_basis(params.interface_basis, GammaBasis::NonRelativistic, in[i]);
+
+  VirtualCluster cluster(cluster_spec);
+  std::vector<HostSpinorField> outs(static_cast<std::size_t>(n_ranks));
+
+  cluster.run([&](RankContext& ctx) {
+    comm::QmpGrid grid(ctx, topo);
+    const int rank = ctx.rank();
+    const Geometry local = local_geometry(g, topo);
+    const HostGaugeField lu = slice_gauge(gauge, topo, rank);
+    const HostCloverField lt = slice_clover(t, topo, rank);
+    const HostCloverField ltinv = slice_clover(tinv, topo, rank);
+    const HostSpinorField lin = slice_spinor(in_nr, topo, rank);
+
+    OperatorParams op_params;
+    op_params.mass = params.mass;
+    op_params.time_bc = params.time_bc;
+
+    RankFields<PrecDouble> fields(grid, local, lu, lt, ltinv, params.reconstruct);
+    parallel::ParallelWilsonCloverOp<PrecDouble> op(grid, local, fields.gauge, fields.clover,
+                                                    fields.clover_inv, op_params, params.overlap);
+
+    const PartitionMask mask = topo.partition_mask();
+    SpinorFieldD in_e = upload_spinor<PrecDouble>(lin, Parity::Even, mask);
+    SpinorFieldD in_o = upload_spinor<PrecDouble>(lin, Parity::Odd, mask);
+    SpinorFieldD out_e(local, mask), out_o(local, mask);
+    op.apply_full(out_e, out_o, in_e, in_o);
+
+    HostSpinorField lout(local);
+    download_spinor(out_e, Parity::Even, lout);
+    download_spinor(out_o, Parity::Odd, lout);
+    outs[static_cast<std::size_t>(rank)] = lout;
+  });
+
+  HostSpinorField out_nr(g);
+  for (int r = 0; r < n_ranks; ++r)
+    merge_spinor(out_nr, outs[static_cast<std::size_t>(r)], topo, r);
+  if (out.geom().volume() != g.volume()) out = HostSpinorField(g);
+  for (std::int64_t i = 0; i < g.volume(); ++i)
+    out[i] = rotate_basis(GammaBasis::NonRelativistic, params.interface_basis, out_nr[i]);
+}
+
+} // namespace quda

@@ -1,0 +1,92 @@
+#pragma once
+// The public interface of the library, mirroring the shape of QUDA's C API
+// (loadGaugeQuda / loadCloverQuda / invertQuda) in idiomatic C++.
+//
+// An application hands over host-side fields in its own gamma basis
+// (Chroma/QDP++ use DeGrand-Rossi) together with an InvertParams describing
+// the discretization, precisions, solver, and communication policy; the
+// library reorders fields into the device layout, splits them over the
+// simulated GPU cluster's ranks, runs the (possibly mixed-precision) Krylov
+// solver with halo exchange, and returns the solution plus solver and
+// performance statistics.
+//
+// The single-GPU path is simply a 1-rank cluster.
+
+#include "dirac/wilson_ref.h"
+#include "lattice/gauge_field.h"
+#include "lattice/host_field.h"
+#include "lattice/precision.h"
+#include "parallel/policy.h"
+#include "sim/cluster_spec.h"
+#include "solvers/solver.h"
+
+#include <optional>
+
+namespace quda {
+
+enum class SolverType {
+  BiCGstab, // the production solver of the paper
+  CG,       // conjugate gradients on the normal equations (CGNR)
+};
+
+enum class MixedStrategy {
+  ReliableUpdates,  // QUDA's scheme: one Krylov space, high-precision corrections
+  DefectCorrection, // restart-based baseline
+};
+
+struct InvertParams {
+  // physics / discretization
+  double mass = 0.0;
+  double csw = 0.0; // 0 = plain Wilson; nonzero = Wilson-clover
+  TimeBoundary time_bc = TimeBoundary::Antiperiodic;
+  GammaBasis interface_basis = GammaBasis::DeGrandRossi;
+
+  // precisions: solver runs at `precision`; setting a lower `sloppy`
+  // selects the mixed-precision reliable-update solver
+  Precision precision = Precision::Single;
+  std::optional<Precision> sloppy{};
+  MixedStrategy mixed_strategy = MixedStrategy::ReliableUpdates;
+
+  // solver controls (Section VII-A's tol / delta)
+  SolverType solver = SolverType::BiCGstab;
+  double tol = 1e-7; // relative; note the outer precision's floor (~1e-7 in single)
+  double delta = 1e-1;
+  int max_iter = 5000;
+  bool verbose = false;
+
+  // multi-GPU controls
+  CommPolicy overlap = CommPolicy::Overlap;
+  Reconstruct reconstruct = Reconstruct::Twelve;
+  // rank grid over (x, y, z, t).  All ones = the paper's 1-D slicing of the
+  // time dimension sized to the cluster; anything else selects the
+  // multi-dimensional decomposition (the paper's future work) and must
+  // multiply to the cluster's rank count.
+  std::array<int, 4> grid{1, 1, 1, 1};
+};
+
+struct InvertResult {
+  SolverStats stats;
+  double simulated_time_us = 0;    // cluster makespan of the solve
+  double effective_gflops = 0;     // aggregate sustained effective Gflops
+  std::int64_t device_bytes_peak = 0; // max device memory used by any rank
+};
+
+// Solve M x = b on `ranks` simulated GPUs (time-direction decomposition).
+// `gauge` and `b` are full-lattice host fields in `params.interface_basis`;
+// `x` receives the solution in the same basis.  The global T must divide
+// evenly into even local slabs.
+InvertResult invert_multi_gpu(const sim::ClusterSpec& cluster_spec, const HostGaugeField& gauge,
+                              const HostSpinorField& b, HostSpinorField& x,
+                              const InvertParams& params);
+
+// single-GPU convenience overload
+InvertResult invert(const HostGaugeField& gauge, const HostSpinorField& b, HostSpinorField& x,
+                    const InvertParams& params);
+
+// Apply the full Wilson-clover matrix M on `ranks` GPUs (an `MatQuda`-style
+// entry point, useful for residual checks and as a cheap API smoke test).
+void apply_matrix_multi_gpu(const sim::ClusterSpec& cluster_spec, const HostGaugeField& gauge,
+                            const HostSpinorField& in, HostSpinorField& out,
+                            const InvertParams& params);
+
+} // namespace quda

@@ -1,0 +1,43 @@
+#pragma once
+// Model of the companion CPU cluster ("9q" at Jefferson Lab): nodes
+// identical to the GPU cluster's -- dual quad-core Nehalem, QDR InfiniBand
+// -- but solving with highly optimized SSE routines on the CPUs instead.
+// The paper measured 255 Gflops in single precision on a 16-node partition
+// (128 cores), about 2 Gflops per core, and uses it as the reference point
+// for the "over a factor of 10" GPU speedup claim (Section VII-C).
+//
+// The real-arithmetic correctness oracle for the CPU path is the
+// naive-order reference operator in dirac/wilson_ref.h; this header models
+// its *performance* at cluster scale.
+
+#include "lattice/geometry.h"
+#include "lattice/precision.h"
+#include "perfmodel/costs.h"
+
+namespace quda::cpuref {
+
+inline constexpr int kCoresPerNode = 8; // two quad-core Xeon E5530
+
+// sustained per-core Gflops of the SSE Wilson-clover solver
+inline double sse_core_gflops(Precision p) {
+  switch (p) {
+    case Precision::Single: return 2.0; // the paper's measured ~2 Gflops/core
+    case Precision::Double: return 1.1; // half the SSE vector width
+    case Precision::Half: return 0.0;   // no 16-bit SSE path
+  }
+  return 0;
+}
+
+// aggregate sustained Gflops of an n-node partition (the solver weak-scales
+// essentially perfectly at this modest node count on QDR IB)
+inline double cluster_gflops(int nodes, Precision p) {
+  return nodes * kCoresPerNode * sse_core_gflops(p);
+}
+
+// time for one solver iteration of the even-odd system on the CPU cluster
+inline double iteration_time_us(const LatticeDims& global, int nodes, Precision p) {
+  const double flops = 2.0 * perf::kMatrixFlopsPerSite * (global.volume() / 2.0) * 1.15;
+  return flops / (cluster_gflops(nodes, p) * 1e3);
+}
+
+} // namespace quda::cpuref

@@ -1,0 +1,281 @@
+#include "dirac/dslash.h"
+
+#include <cassert>
+
+namespace quda {
+
+namespace {
+
+template <typename T> void scale_half_spinor(HalfSpinor<T>& h, T s) {
+  for (std::size_t sp = 0; sp < 2; ++sp)
+    for (std::size_t c = 0; c < 3; ++c) h.s[sp][c] *= s;
+}
+
+// does this site touch any partitioned edge?
+inline bool on_partitioned_edge(const Coords& c, const LatticeDims& dims,
+                                const std::array<bool, 4>& ghost) {
+  for (int mu = 0; mu < 4; ++mu)
+    if (ghost[static_cast<std::size_t>(mu)] && (c[mu] == 0 || c[mu] == dims[mu] - 1))
+      return true;
+  return false;
+}
+
+} // namespace
+
+template <typename P>
+void dslash(SpinorField<P>& out, const GaugeField<P>& gauge, const SpinorField<P>& in,
+            const Geometry& g, const DslashOptions& opt, std::int64_t cb_begin,
+            std::int64_t cb_end, typename P::real_t scale, Accumulate accumulate,
+            KernelRegion region) {
+  using real_t = typename P::real_t;
+  const Parity out_parity = opt.out_parity;
+  const Parity in_parity = other(out_parity);
+
+  for (std::int64_t cb = cb_begin; cb < cb_end; ++cb) {
+    const Coords x = g.cb_coords(out_parity, cb);
+    if (region != KernelRegion::All) {
+      const bool boundary = on_partitioned_edge(x, g.dims(), opt.ghost);
+      if (region == KernelRegion::Interior && boundary) continue;
+      if (region == KernelRegion::Boundary && !boundary) continue;
+    }
+    Spinor<real_t> acc{};
+
+    for (int mu = 0; mu < 4; ++mu) {
+      const int len = g.dims()[mu];
+      const bool dim_ghost = opt.ghost[static_cast<std::size_t>(mu)];
+      // ---- forward hop: P-mu U_mu(x) psi(x+mu) --------------------------
+      {
+        const bool at_edge = x[mu] == len - 1;
+        const bool ghost = at_edge && dim_ghost;
+        const real_t phase =
+            (mu == 3 && at_edge) ? static_cast<real_t>(opt.bc_forward) : real_t(1);
+        HalfSpinor<real_t> h;
+        if (ghost) {
+          h = in.load_ghost(mu, GhostFace::Forward, g.face_index(mu, x));
+        } else {
+          const Coords xf = g.neighbor(x, mu, +1);
+          h = project(mu, -1, in.load(g.cb_index(xf)));
+        }
+        h = gauge.load(mu, out_parity, cb) * h;
+        if (phase != real_t(1)) scale_half_spinor(h, phase);
+        reconstruct_add(mu, -1, h, acc);
+      }
+      // ---- backward hop: P+mu U_mu(x-mu)^dag psi(x-mu) ------------------
+      {
+        const bool at_edge = x[mu] == 0;
+        const bool ghost = at_edge && dim_ghost;
+        const real_t phase =
+            (mu == 3 && at_edge) ? static_cast<real_t>(opt.bc_backward) : real_t(1);
+        HalfSpinor<real_t> h;
+        SU3<real_t> u;
+        if (ghost) {
+          const std::int64_t fs = g.face_index(mu, x);
+          h = in.load_ghost(mu, GhostFace::Backward, fs);
+          u = gauge.load_ghost(mu, in_parity, fs);
+        } else {
+          const Coords xb = g.neighbor(x, mu, -1);
+          const std::int64_t cb_b = g.cb_index(xb);
+          h = project(mu, +1, in.load(cb_b));
+          u = gauge.load(mu, in_parity, cb_b);
+        }
+        h = adj_mul(u, h);
+        if (phase != real_t(1)) scale_half_spinor(h, phase);
+        reconstruct_add(mu, +1, h, acc);
+      }
+    }
+
+    acc *= scale;
+    if (accumulate == Accumulate::Yes) {
+      Spinor<real_t> prev = out.load(cb);
+      prev += acc;
+      out.store(cb, prev);
+    } else {
+      out.store(cb, acc);
+    }
+  }
+}
+
+template <typename P>
+void apply_clover_xpay(SpinorField<P>& out, const CloverField<P>& clover, Parity parity,
+                       const SpinorField<P>& x, const Geometry& g, std::int64_t cb_begin,
+                       std::int64_t cb_end, typename P::real_t b) {
+  using real_t = typename P::real_t;
+  (void)g;
+  const SpinMatrix& w = chiral_transform();
+  const SpinMatrix wd = adjoint(w);
+
+  for (std::int64_t cb = cb_begin; cb < cb_end; ++cb) {
+    const CloverSite<real_t> site = clover.load(parity, cb);
+    const Spinor<real_t> xin = x.load(cb);
+    // chi = W^dag x; block apply; eta = W (B chi)
+    const Spinor<real_t> chi = apply_spin(wd, xin);
+    Spinor<real_t> eta;
+    for (int blk = 0; blk < 2; ++blk) {
+      std::array<Complex<real_t>, 6> v{};
+      for (std::size_t s = 0; s < 2; ++s)
+        for (std::size_t c = 0; c < 3; ++c) v[3 * s + c] = chi.s[2 * blk + s][c];
+      const std::array<Complex<real_t>, 6> y = site.block[blk].apply(v);
+      for (std::size_t s = 0; s < 2; ++s)
+        for (std::size_t c = 0; c < 3; ++c) eta.s[2 * blk + s][c] = y[3 * s + c];
+    }
+    Spinor<real_t> res = apply_spin(w, eta);
+    if (b != real_t(0)) {
+      Spinor<real_t> prev = out.load(cb);
+      prev *= b;
+      res += prev;
+    }
+    out.store(cb, res);
+  }
+}
+
+// --- face exchange -----------------------------------------------------------
+
+template <typename P>
+void pack_face(const SpinorField<P>& field, const Geometry& g, Parity field_parity, int mu,
+               int slice, int sign, FaceBuffer<P>& buf) {
+  using real_t = typename P::real_t;
+  using store_t = typename P::store_t;
+  const std::int64_t nf = g.face_sites(mu);
+  buf.resize(nf);
+
+  for (std::int64_t fs = 0; fs < nf; ++fs) {
+    const Coords c = g.face_site_coords(mu, field_parity, slice, fs);
+    const HalfSpinor<real_t> h = project(mu, sign, field.load(g.cb_index(c)));
+
+    real_t inv = 1;
+    if constexpr (P::has_norm) {
+      float m = 0;
+      for (std::size_t sp = 0; sp < 2; ++sp)
+        for (std::size_t col = 0; col < 3; ++col) {
+          m = std::max(m, std::abs(static_cast<float>(h.s[sp][col].re)));
+          m = std::max(m, std::abs(static_cast<float>(h.s[sp][col].im)));
+        }
+      if (m == 0.0f) m = 1e-37f;
+      buf.norm[static_cast<std::size_t>(fs)] = m;
+      inv = real_t(1) / m;
+    }
+    std::size_t k = static_cast<std::size_t>(fs * 12);
+    for (std::size_t sp = 0; sp < 2; ++sp)
+      for (std::size_t col = 0; col < 3; ++col) {
+        if constexpr (P::value == Precision::Half) {
+          buf.data[k++] = to_half(static_cast<float>(h.s[sp][col].re * inv));
+          buf.data[k++] = to_half(static_cast<float>(h.s[sp][col].im * inv));
+        } else {
+          buf.data[k++] = static_cast<store_t>(h.s[sp][col].re);
+          buf.data[k++] = static_cast<store_t>(h.s[sp][col].im);
+        }
+      }
+  }
+}
+
+template <typename P>
+void unpack_ghost(SpinorField<P>& field, const Geometry& g, int mu, GhostFace face,
+                  const FaceBuffer<P>& buf) {
+  using real_t = typename P::real_t;
+  const std::int64_t nf = g.face_sites(mu);
+  assert(std::int64_t(buf.data.size()) == nf * 12);
+
+  for (std::int64_t fs = 0; fs < nf; ++fs) {
+    HalfSpinor<real_t> h;
+    float norm = 1.0f;
+    if constexpr (P::has_norm) norm = buf.norm[static_cast<std::size_t>(fs)];
+    std::size_t k = static_cast<std::size_t>(fs * 12);
+    for (std::size_t sp = 0; sp < 2; ++sp)
+      for (std::size_t col = 0; col < 3; ++col) {
+        real_t re, im;
+        if constexpr (P::value == Precision::Half) {
+          re = from_half(buf.data[k]) * norm;
+          im = from_half(buf.data[k + 1]) * norm;
+        } else {
+          re = static_cast<real_t>(buf.data[k]);
+          im = static_cast<real_t>(buf.data[k + 1]);
+        }
+        h.s[sp][col] = Complex<real_t>(re, im);
+        k += 2;
+      }
+    field.store_ghost(mu, face, fs, h, norm);
+  }
+}
+
+template <typename P>
+void pack_gauge_face(const GaugeField<P>& gauge, const Geometry& g, int mu, int slice,
+                     GaugeFaceBuffer<P>& buf) {
+  using real_t = typename P::real_t;
+  using store_t = typename P::store_t;
+  const std::int64_t nf = g.face_sites(mu);
+  buf.resize(nf);
+
+  for (int par = 0; par < 2; ++par) {
+    const Parity parity = par == 0 ? Parity::Even : Parity::Odd;
+    for (std::int64_t fs = 0; fs < nf; ++fs) {
+      const Coords c = g.face_site_coords(mu, parity, slice, fs);
+      const SU3<real_t> u = gauge.load(mu, parity, g.cb_index(c));
+      std::size_t k = static_cast<std::size_t>((par * nf + fs) * 18);
+      for (std::size_t r = 0; r < 3; ++r)
+        for (std::size_t col = 0; col < 3; ++col) {
+          if constexpr (P::value == Precision::Half) {
+            buf.data[k++] = to_half(static_cast<float>(u.e[r][col].re));
+            buf.data[k++] = to_half(static_cast<float>(u.e[r][col].im));
+          } else {
+            buf.data[k++] = static_cast<store_t>(u.e[r][col].re);
+            buf.data[k++] = static_cast<store_t>(u.e[r][col].im);
+          }
+        }
+    }
+  }
+}
+
+template <typename P>
+void unpack_gauge_ghost(GaugeField<P>& gauge, const Geometry& g, int mu,
+                        const GaugeFaceBuffer<P>& buf) {
+  const std::int64_t nf = g.face_sites(mu);
+  assert(std::int64_t(buf.data.size()) == nf * 2 * 18);
+
+  for (int par = 0; par < 2; ++par) {
+    const Parity parity = par == 0 ? Parity::Even : Parity::Odd;
+    for (std::int64_t fs = 0; fs < nf; ++fs) {
+      SU3<double> u;
+      std::size_t k = static_cast<std::size_t>((par * nf + fs) * 18);
+      for (std::size_t r = 0; r < 3; ++r)
+        for (std::size_t col = 0; col < 3; ++col) {
+          double re, im;
+          if constexpr (P::value == Precision::Half) {
+            re = from_half(buf.data[k]);
+            im = from_half(buf.data[k + 1]);
+          } else {
+            re = static_cast<double>(buf.data[k]);
+            im = static_cast<double>(buf.data[k + 1]);
+          }
+          u.e[r][col] = complexd(re, im);
+          k += 2;
+        }
+      gauge.store_ghost(mu, parity, fs, u);
+    }
+  }
+}
+
+// --- explicit instantiations -------------------------------------------------
+
+#define QUDA_INSTANTIATE(P)                                                                       \
+  template void dslash<P>(SpinorField<P>&, const GaugeField<P>&, const SpinorField<P>&,           \
+                          const Geometry&, const DslashOptions&, std::int64_t, std::int64_t,      \
+                          P::real_t, Accumulate, KernelRegion);                                   \
+  template void apply_clover_xpay<P>(SpinorField<P>&, const CloverField<P>&, Parity,              \
+                                     const SpinorField<P>&, const Geometry&, std::int64_t,        \
+                                     std::int64_t, P::real_t);                                    \
+  template void pack_face<P>(const SpinorField<P>&, const Geometry&, Parity, int, int, int,       \
+                             FaceBuffer<P>&);                                                     \
+  template void unpack_ghost<P>(SpinorField<P>&, const Geometry&, int, GhostFace,                 \
+                                const FaceBuffer<P>&);                                            \
+  template void pack_gauge_face<P>(const GaugeField<P>&, const Geometry&, int, int,               \
+                                   GaugeFaceBuffer<P>&);                                          \
+  template void unpack_gauge_ghost<P>(GaugeField<P>&, const Geometry&, int,                       \
+                                      const GaugeFaceBuffer<P>&);
+
+QUDA_INSTANTIATE(PrecDouble)
+QUDA_INSTANTIATE(PrecSingle)
+QUDA_INSTANTIATE(PrecHalf)
+
+#undef QUDA_INSTANTIATE
+
+} // namespace quda

@@ -1,0 +1,71 @@
+#include "dirac/gauge_init.h"
+
+#include <random>
+
+namespace quda {
+
+namespace {
+
+SU3<double> gaussian_matrix(std::mt19937_64& rng, double scale) {
+  std::normal_distribution<double> dist(0.0, scale);
+  SU3<double> m;
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 3; ++c) m.e[r][c] = complexd(dist(rng), dist(rng));
+  return m;
+}
+
+} // namespace
+
+void make_unit_gauge(HostGaugeField& u) { u.set_identity(); }
+
+void make_weak_field_gauge(HostGaugeField& u, double epsilon, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  const std::int64_t v = u.geom().volume();
+  for (int mu = 0; mu < 4; ++mu)
+    for (std::int64_t i = 0; i < v; ++i) {
+      SU3<double> m = SU3<double>::identity() + gaussian_matrix(rng, epsilon);
+      u.link(mu, i) = reunitarize(m);
+    }
+}
+
+void make_random_gauge(HostGaugeField& u, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  const std::int64_t v = u.geom().volume();
+  for (int mu = 0; mu < 4; ++mu)
+    for (std::int64_t i = 0; i < v; ++i) u.link(mu, i) = reunitarize(gaussian_matrix(rng, 1.0));
+}
+
+void make_random_spinor(HostSpinorField& s, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> dist(0.0, 1.0);
+  for (std::int64_t i = 0; i < s.geom().volume(); ++i)
+    for (std::size_t spin = 0; spin < 4; ++spin)
+      for (std::size_t c = 0; c < 3; ++c) s[i].s[spin][c] = complexd(dist(rng), dist(rng));
+}
+
+void make_point_source(HostSpinorField& s, const Coords& site, int spin, int color) {
+  s.zero();
+  s.at(site).s[static_cast<std::size_t>(spin)][static_cast<std::size_t>(color)] = complexd(1.0);
+}
+
+double average_plaquette(const HostGaugeField& u) {
+  const Geometry& g = u.geom();
+  double sum = 0;
+  for (std::int64_t i = 0; i < g.volume(); ++i) {
+    const Coords x = g.coords(i);
+    for (int mu = 0; mu < 4; ++mu)
+      for (int nu = mu + 1; nu < 4; ++nu) {
+        const Coords xmu = g.neighbor(x, mu, +1);
+        const Coords xnu = g.neighbor(x, nu, +1);
+        // P = U_mu(x) U_nu(x+mu) U_mu(x+nu)^dag U_nu(x)^dag
+        const SU3<double> p =
+            u.link(mu, x) * u.link(nu, xmu) * adjoint(u.link(mu, xnu)) * adjoint(u.link(nu, x));
+        double retr = 0;
+        for (std::size_t d = 0; d < 3; ++d) retr += p.e[d][d].re;
+        sum += retr / 3.0;
+      }
+  }
+  return sum / (static_cast<double>(g.volume()) * 6.0);
+}
+
+} // namespace quda

@@ -1,0 +1,36 @@
+#pragma once
+// Gauge configuration generation and gauge observables.
+//
+// The paper's performance runs use "weak field" configurations: all links
+// start at the identity, a small amount of random noise is mixed in, and
+// the links are re-unitarized back onto the SU(3) manifold (Section VII-A).
+// We reproduce that construction, plus fully random configurations for
+// correctness tests and the average plaquette as a sanity observable.
+
+#include "lattice/host_field.h"
+
+#include <cstdint>
+
+namespace quda {
+
+// all links = identity (free field)
+void make_unit_gauge(HostGaugeField& u);
+
+// identity + epsilon * Gaussian noise, re-unitarized (the paper's weak field)
+void make_weak_field_gauge(HostGaugeField& u, double epsilon, std::uint64_t seed);
+
+// links drawn by re-unitarizing matrices with Gaussian entries (disordered;
+// a stress test for the operator since it exercises generic SU(3) values)
+void make_random_gauge(HostGaugeField& u, std::uint64_t seed);
+
+// Gaussian random spinor field
+void make_random_spinor(HostSpinorField& s, std::uint64_t seed);
+
+// point source: delta at site/spin/color (what a propagator solve uses)
+void make_point_source(HostSpinorField& s, const Coords& site, int spin, int color);
+
+// average plaquette: Re tr P / 3 averaged over sites and the 6 planes;
+// equals 1 for the unit gauge and stays near 1 for weak fields
+double average_plaquette(const HostGaugeField& u);
+
+} // namespace quda

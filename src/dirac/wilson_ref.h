@@ -1,0 +1,42 @@
+#pragma once
+// Reference (naive-order, dense-spin-matrix) Wilson and Wilson-clover
+// operators on host fields.  This is the correctness oracle: it shares no
+// projector/reconstruction code with the optimized device kernels -- spin
+// structure is applied via dense 4x4 gamma matrices and the clover via the
+// dense 12x12 per-site matrix.
+//
+// Operator convention (equation (2) of the paper):
+//
+//   M psi(x) = (4 + m) psi(x) + A_x psi(x)
+//            - 1/2 sum_mu [ (1 - gamma_mu) U_mu(x)        psi(x+mu)
+//                         + (1 + gamma_mu) U_mu(x-mu)^dag psi(x-mu) ]
+//
+// Temporal boundary conditions are periodic or antiperiodic (production
+// fermion BCs); spatial are periodic.
+
+#include "dirac/clover_term.h"
+#include "lattice/host_field.h"
+
+namespace quda {
+
+struct WilsonParams {
+  double mass = 0.0;
+  TimeBoundary time_bc = TimeBoundary::Periodic;
+  GammaBasis basis = GammaBasis::NonRelativistic;
+};
+
+// out = D psi (the hopping part only, *without* the -1/2 factor)
+void apply_hopping_ref(const HostGaugeField& u, const HostSpinorField& in, HostSpinorField& out,
+                       const WilsonParams& p);
+
+// out = M psi, Wilson (no clover)
+void apply_wilson_ref(const HostGaugeField& u, const HostSpinorField& in, HostSpinorField& out,
+                      const WilsonParams& p);
+
+// out = M psi, Wilson-clover with the dense clover field A (not including
+// the (4+m) diagonal -- that is added here)
+void apply_wilson_clover_ref(const HostGaugeField& u, const DenseCloverField& a,
+                             const HostSpinorField& in, HostSpinorField& out,
+                             const WilsonParams& p);
+
+} // namespace quda

@@ -1,0 +1,237 @@
+#include "gauge/update.h"
+
+#include <cmath>
+
+namespace quda::gauge {
+
+namespace {
+
+// a 2x2 complex matrix in quaternion form: a0 + i (a1 s1 + a2 s2 + a3 s3);
+// SU(2) iff a0^2 + |a|^2 = 1
+struct Quat {
+  double a0 = 1, a1 = 0, a2 = 0, a3 = 0;
+
+  Quat mult(const Quat& o) const {
+    // quaternion product (Pauli algebra)
+    return {a0 * o.a0 - a1 * o.a1 - a2 * o.a2 - a3 * o.a3,
+            a0 * o.a1 + a1 * o.a0 - a2 * o.a3 + a3 * o.a2,
+            a0 * o.a2 + a2 * o.a0 - a3 * o.a1 + a1 * o.a3,
+            a0 * o.a3 + a3 * o.a0 - a1 * o.a2 + a2 * o.a1};
+  }
+  Quat conjugated() const { return {a0, -a1, -a2, -a3}; }
+  double norm2() const { return a0 * a0 + a1 * a1 + a2 * a2 + a3 * a3; }
+};
+
+// the three SU(2) subgroup embeddings of SU(3)
+constexpr int kSub[3][2] = {{0, 1}, {0, 2}, {1, 2}};
+
+// extract the SU(2)-proportional part of the 2x2 submatrix (rows/cols i, j)
+// of a 3x3 complex matrix: m ~ q * r with q = (a + conj(d), b - conj(c))
+Quat su2_part(const SU3<double>& m, int s) {
+  const int i = kSub[s][0], j = kSub[s][1];
+  const complexd a = m.e[i][i], b = m.e[i][j], c = m.e[j][i], d = m.e[j][j];
+  // q = [[alpha, beta], [-conj(beta), conj(alpha)]] with
+  // alpha = (a + conj(d))/2, beta = (b - conj(c))/2; quaternion components:
+  // alpha = a0 + i a3, beta = a2 + i a1
+  const complexd alpha = (a + conj(d)) * 0.5;
+  const complexd beta = (b - conj(c)) * 0.5;
+  return {alpha.re, beta.im, beta.re, alpha.im};
+}
+
+// embed an SU(2) quaternion into SU(3) at subgroup s (identity elsewhere)
+SU3<double> embed(const Quat& q, int s) {
+  const int i = kSub[s][0], j = kSub[s][1];
+  SU3<double> m = SU3<double>::identity();
+  m.e[i][i] = complexd(q.a0, q.a3);
+  m.e[i][j] = complexd(q.a2, q.a1);
+  m.e[j][i] = complexd(-q.a2, q.a1);
+  m.e[j][j] = complexd(q.a0, -q.a3);
+  return m;
+}
+
+// Kennedy-Pendleton: sample a0 with density ~ sqrt(1 - a0^2) exp(xi * a0)
+// on [-1, 1]; returns trials used (for the acceptance diagnostic)
+int kp_sample_a0(double xi, std::mt19937_64& rng, double& a0) {
+  std::uniform_real_distribution<double> uni(0.0, 1.0);
+  int trials = 0;
+  while (true) {
+    ++trials;
+    const double r1 = 1.0 - uni(rng); // (0, 1]
+    const double r2 = uni(rng);
+    const double r3 = 1.0 - uni(rng);
+    const double c = std::cos(2.0 * M_PI * r2);
+    const double lambda2 = -(std::log(r1) + c * c * std::log(r3)) / (2.0 * xi);
+    const double r4 = uni(rng);
+    if (r4 * r4 <= 1.0 - lambda2) {
+      a0 = 1.0 - 2.0 * lambda2;
+      return trials;
+    }
+    if (trials > 1000) { // numerically extreme xi: fall back to the mode
+      a0 = 1.0;
+      return trials;
+    }
+  }
+}
+
+// random direction on S^2 scaled to radius r
+void random_vector(double r, std::mt19937_64& rng, double& x, double& y, double& z) {
+  std::uniform_real_distribution<double> uni(-1.0, 1.0);
+  double nx, ny, nz, n2;
+  do {
+    nx = uni(rng);
+    ny = uni(rng);
+    nz = uni(rng);
+    n2 = nx * nx + ny * ny + nz * nz;
+  } while (n2 > 1.0 || n2 < 1e-12);
+  const double inv = r / std::sqrt(n2);
+  x = nx * inv;
+  y = ny * inv;
+  z = nz * inv;
+}
+
+double re_tr_prod_dag(const SU3<double>& a, const SU3<double>& b) {
+  // Re tr(a * b^dag)
+  double s = 0;
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 3; ++c)
+      s += a.e[r][c].re * b.e[r][c].re + a.e[r][c].im * b.e[r][c].im;
+  return s;
+}
+
+SU3<double> random_near_identity(double step, std::mt19937_64& rng) {
+  std::normal_distribution<double> d(0.0, step);
+  SU3<double> m = SU3<double>::identity();
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 3; ++c) m.e[r][c] += complexd(d(rng), d(rng));
+  return reunitarize(m);
+}
+
+} // namespace
+
+SU3<double> staple_sum(const HostGaugeField& u, const Coords& x, int mu) {
+  const Geometry& g = u.geom();
+  SU3<double> k{};
+  const Coords xmu = g.neighbor(x, mu, +1);
+  for (int nu = 0; nu < 4; ++nu) {
+    if (nu == mu) continue;
+    // forward staple: U_nu(x+mu) U_mu(x+nu)^dag U_nu(x)^dag ... as part of
+    // Re tr(U_mu(x) K^dag) with K = U_nu(x) U_mu(x+nu) U_nu(x+mu)^dag
+    {
+      const Coords xnu = g.neighbor(x, nu, +1);
+      k += u.link(nu, x) * u.link(mu, xnu) * adjoint(u.link(nu, xmu));
+    }
+    // backward staple: K = U_nu(x-nu)^dag U_mu(x-nu) U_nu(x+mu-nu)
+    {
+      const Coords xmnu = g.neighbor(x, nu, -1);
+      const Coords xmu_mnu = g.neighbor(xmu, nu, -1);
+      k += adjoint(u.link(nu, xmnu)) * u.link(mu, xmnu) * u.link(nu, xmu_mnu);
+    }
+  }
+  return k;
+}
+
+double heatbath_sweep(HostGaugeField& u, double beta, std::mt19937_64& rng) {
+  const Geometry& g = u.geom();
+  std::int64_t updates = 0, trials = 0;
+
+  for (std::int64_t i = 0; i < g.volume(); ++i) {
+    const Coords x = g.coords(i);
+    for (int mu = 0; mu < 4; ++mu) {
+      const SU3<double> k = staple_sum(u, x, mu);
+      for (int s = 0; s < 3; ++s) {
+        // W = U K^dag; its SU(2) subgroup part q = a * v, |v| = 1
+        const SU3<double> w = u.link(mu, x) * adjoint(k);
+        const Quat q = su2_part(w, s);
+        const double det = q.norm2();
+        if (det < 1e-14) continue; // staple annihilates this subgroup
+        const double root = std::sqrt(det);
+        // weight exp((beta/3) * Re tr(g W)) restricted to the subgroup is
+        // exp(xi * Retr_2(g q) / root) ... with xi = beta * root / 3 * 2 / 2
+        const double xi = beta * root * (2.0 / 3.0);
+
+        double a0 = 1.0;
+        trials += kp_sample_a0(xi, rng, a0);
+        ++updates;
+        double a1, a2, a3;
+        random_vector(std::sqrt(std::max(0.0, 1.0 - a0 * a0)), rng, a1, a2, a3);
+        const Quat a{a0, a1, a2, a3};
+
+        // new subgroup element: g = a * (q / root)^{-1}
+        Quat vinv = q.conjugated();
+        const double inv = 1.0 / root;
+        vinv.a0 *= inv;
+        vinv.a1 *= inv;
+        vinv.a2 *= inv;
+        vinv.a3 *= inv;
+        const Quat gq = a.mult(vinv);
+        u.link(mu, x) = embed(gq, s) * u.link(mu, x);
+      }
+      u.link(mu, x) = reunitarize(u.link(mu, x)); // control rounding drift
+    }
+  }
+  return updates > 0 ? static_cast<double>(updates) / static_cast<double>(trials) : 1.0;
+}
+
+void overrelax_sweep(HostGaugeField& u, std::mt19937_64& rng) {
+  (void)rng;
+  const Geometry& g = u.geom();
+  for (std::int64_t i = 0; i < g.volume(); ++i) {
+    const Coords x = g.coords(i);
+    for (int mu = 0; mu < 4; ++mu) {
+      const SU3<double> k = staple_sum(u, x, mu);
+      for (int s = 0; s < 3; ++s) {
+        const SU3<double> w = u.link(mu, x) * adjoint(k);
+        const Quat q = su2_part(w, s);
+        const double det = q.norm2();
+        if (det < 1e-14) continue;
+        // reflect: g = v^dag * v^dag with v = q/|q| flips the subgroup
+        // component about the action minimum, preserving Re tr(g W)
+        Quat v = q;
+        const double inv = 1.0 / std::sqrt(det);
+        v.a0 *= inv;
+        v.a1 *= inv;
+        v.a2 *= inv;
+        v.a3 *= inv;
+        const Quat g2 = v.conjugated().mult(v.conjugated());
+        u.link(mu, x) = embed(g2, s) * u.link(mu, x);
+      }
+      u.link(mu, x) = reunitarize(u.link(mu, x));
+    }
+  }
+}
+
+double metropolis_sweep(HostGaugeField& u, double beta, double step, int hits,
+                        std::mt19937_64& rng) {
+  const Geometry& g = u.geom();
+  std::uniform_real_distribution<double> uni(0.0, 1.0);
+  std::int64_t accepted = 0, proposed = 0;
+
+  for (std::int64_t i = 0; i < g.volume(); ++i) {
+    const Coords x = g.coords(i);
+    for (int mu = 0; mu < 4; ++mu) {
+      const SU3<double> k = staple_sum(u, x, mu);
+      for (int h = 0; h < hits; ++h) {
+        const SU3<double> r = random_near_identity(step, rng);
+        const SU3<double> trial = reunitarize(r * u.link(mu, x));
+        const double d_action =
+            -(beta / 3.0) * (re_tr_prod_dag(trial, k) - re_tr_prod_dag(u.link(mu, x), k));
+        ++proposed;
+        if (d_action <= 0.0 || uni(rng) < std::exp(-d_action)) {
+          u.link(mu, x) = trial;
+          ++accepted;
+        }
+      }
+    }
+  }
+  return static_cast<double>(accepted) / static_cast<double>(proposed);
+}
+
+void update_sweeps(HostGaugeField& u, double beta, int n_sweeps, int n_or,
+                   std::mt19937_64& rng) {
+  for (int s = 0; s < n_sweeps; ++s) {
+    heatbath_sweep(u, beta, rng);
+    for (int o = 0; o < n_or; ++o) overrelax_sweep(u, rng);
+  }
+}
+
+} // namespace quda::gauge

@@ -1,0 +1,45 @@
+#pragma once
+// Quenched gauge-field generation: the first phase of the LQCD workflow the
+// paper's introduction describes (gauge configurations are produced by a
+// long-chain Monte Carlo, then analyzed by the solver).  The paper lists
+// gauge generation on GPU clusters as future work; this module provides the
+// algorithms -- Wilson plaquette action with Cabibbo-Marinari /
+// Kennedy-Pendleton heatbath, micro-canonical overrelaxation, and a
+// Metropolis sampler kept as an independent cross-check of the heatbath's
+// stationary distribution.
+//
+// Conventions: S[U] = beta * sum_{x, mu<nu} (1 - Re tr P_{mu,nu}(x) / 3),
+// so the local weight for a link is exp( (beta/3) Re tr(U_mu(x) K^dag) )
+// with K the sum of the six staples.
+
+#include "lattice/host_field.h"
+
+#include <cstdint>
+#include <random>
+
+namespace quda::gauge {
+
+// sum of the six staples K such that the local action depends on the link
+// through Re tr( U_mu(x) K^dag )
+SU3<double> staple_sum(const HostGaugeField& u, const Coords& x, int mu);
+
+// one full-lattice Cabibbo-Marinari heatbath sweep (three SU(2) subgroups
+// per link, Kennedy-Pendleton sampling); returns the acceptance fraction of
+// the KP rejection step (diagnostic)
+double heatbath_sweep(HostGaugeField& u, double beta, std::mt19937_64& rng);
+
+// one micro-canonical overrelaxation sweep (action preserving; decorrelates)
+void overrelax_sweep(HostGaugeField& u, std::mt19937_64& rng);
+
+// one Metropolis sweep with `hits` proposals per link of size `step`;
+// returns the acceptance fraction.  Kept as the independent correctness
+// oracle for the heatbath.
+double metropolis_sweep(HostGaugeField& u, double beta, double step, int hits,
+                        std::mt19937_64& rng);
+
+// the update combination production codes use: n_or overrelaxation sweeps
+// per heatbath sweep
+void update_sweeps(HostGaugeField& u, double beta, int n_sweeps, int n_or,
+                   std::mt19937_64& rng);
+
+} // namespace quda::gauge

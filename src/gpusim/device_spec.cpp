@@ -1,0 +1,54 @@
+#include "gpusim/device_spec.h"
+
+namespace quda::gpusim {
+
+namespace {
+DeviceSpec make(std::string name, int cores, double bw, double sp, double dp, double ram,
+                int sms, bool dual_engine) {
+  DeviceSpec s;
+  s.name = std::move(name);
+  s.cores = cores;
+  s.mem_bandwidth_gbs = bw;
+  s.gflops_sp = sp;
+  s.gflops_dp = dp;
+  s.ram_gib = ram;
+  s.multiprocessors = sms;
+  s.dual_copy_engine = dual_engine;
+  return s;
+}
+} // namespace
+
+const DeviceSpec& geforce_8800_gtx() {
+  static const DeviceSpec s = make("GeForce 8800 GTX", 128, 86.4, 518, 0, 0.75, 16, false);
+  return s;
+}
+const DeviceSpec& tesla_c870() {
+  static const DeviceSpec s = make("Tesla C870", 128, 76.8, 518, 0, 1.5, 16, false);
+  return s;
+}
+const DeviceSpec& geforce_gtx285() {
+  // the 9g cluster's cards carry 2 GiB
+  static const DeviceSpec s = make("GeForce GTX 285", 240, 159, 1062, 88, 2.0, 30, false);
+  return s;
+}
+const DeviceSpec& tesla_c1060() {
+  static const DeviceSpec s = make("Tesla C1060", 240, 102, 933, 78, 4.0, 30, false);
+  return s;
+}
+const DeviceSpec& geforce_gtx480() {
+  static const DeviceSpec s = make("GeForce GTX 480", 480, 177, 1345, 168, 1.5, 15, true);
+  return s;
+}
+const DeviceSpec& tesla_c2050() {
+  static const DeviceSpec s = make("Tesla C2050", 448, 144, 1030, 515, 3.0, 14, true);
+  return s;
+}
+
+const std::vector<DeviceSpec>& representative_cards() {
+  static const std::vector<DeviceSpec> cards = {geforce_8800_gtx(), tesla_c870(),
+                                                geforce_gtx285(),  tesla_c1060(),
+                                                geforce_gtx480(),  tesla_c2050()};
+  return cards;
+}
+
+} // namespace quda::gpusim

@@ -1,0 +1,67 @@
+#pragma once
+// Specifications of representative NVIDIA graphics cards (Table I of the
+// paper) plus the host-side bus characteristics measured in Section VII-D.
+//
+// The simulated device layer is parameterized entirely by these structs;
+// the benchmark binaries select the GTX 285 (the paper's test bed) but any
+// entry -- or a hand-built spec -- can be used.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace quda::gpusim {
+
+struct DeviceSpec {
+  std::string name;
+  int cores = 0;
+  double mem_bandwidth_gbs = 0;  // device memory bandwidth, GB/s
+  double gflops_sp = 0;          // 32-bit peak
+  double gflops_dp = 0;          // 64-bit peak; 0 = not supported
+  double ram_gib = 0;            // device memory
+  int multiprocessors = 0;
+  int memory_partitions = 8;     // banks for the partition-camping model
+  int partition_bytes = 256;     // successive regions map round-robin
+  bool dual_copy_engine = false; // Fermi allows bidirectional PCI-E (footnote 4)
+
+  std::int64_t ram_bytes() const {
+    return static_cast<std::int64_t>(ram_gib * 1024.0 * 1024.0 * 1024.0);
+  }
+};
+
+// Table I rows
+const DeviceSpec& geforce_8800_gtx();
+const DeviceSpec& tesla_c870();
+const DeviceSpec& geforce_gtx285(); // the paper's test bed (2 GiB variant)
+const DeviceSpec& tesla_c1060();
+const DeviceSpec& geforce_gtx480();
+const DeviceSpec& tesla_c2050();
+
+const std::vector<DeviceSpec>& representative_cards();
+
+// direction of a host/device transfer
+enum class CopyDir { HostToDevice, DeviceToHost };
+
+// PCI-Express + chipset model (Section VII-D / Fig. 7).  The large latency
+// difference between cudaMemcpy and cudaMemcpyAsync (+sync) is the paper's
+// observed Tylersburg-chipset behaviour; the direction-dependent bandwidth
+// reproduces the different gradients in Fig. 7.
+struct BusModel {
+  double lat_sync_us = 11.0;   // cudaMemcpy
+  double lat_async_us = 48.0;  // cudaMemcpyAsync + cudaThreadSynchronize
+  double bw_h2d_gbs = 5.5;
+  double bw_d2h_gbs = 3.1;
+  // multipliers applied when the controlling process is bound to the wrong
+  // NUMA socket (the maroon series of Fig. 5(a))
+  double numa_bw_penalty = 0.55;
+  double numa_lat_penalty = 1.6;
+
+  double transfer_time_us(std::int64_t bytes, CopyDir dir, bool async, bool good_numa) const {
+    const double lat = (async ? lat_async_us : lat_sync_us) * (good_numa ? 1.0 : numa_lat_penalty);
+    double bw = (dir == CopyDir::HostToDevice ? bw_h2d_gbs : bw_d2h_gbs);
+    if (!good_numa) bw *= numa_bw_penalty;
+    return lat + static_cast<double>(bytes) / (bw * 1e3); // bytes / (GB/s) in us
+  }
+};
+
+} // namespace quda::gpusim

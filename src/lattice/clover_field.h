@@ -1,0 +1,125 @@
+#pragma once
+// Device-resident clover field: two packed 6x6 Hermitian chiral blocks per
+// site (72 reals, footnote 1 of the paper) in the QUDA blocked layout, one
+// slab per parity.  The even-odd preconditioned operator additionally needs
+// the *inverse* clover term, which is simply a second CloverField holding
+// ((4+m) + A)^{-1} blocks.
+//
+// In half precision the 72 reals share one norm per site (their dynamic
+// range is set by csw * F, which mixes all components).
+
+#include "lattice/geometry.h"
+#include "lattice/layout.h"
+#include "lattice/precision.h"
+#include "su3/clover_block.h"
+
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+namespace quda {
+
+template <typename P> class CloverField {
+public:
+  using store_t = typename P::store_t;
+  using real_t = typename P::real_t;
+  static constexpr int kNint = 72;
+
+  CloverField() = default;
+
+  CloverField(std::int64_t sites, std::int64_t pad)
+      : layout_(sites, pad, kNint, P::nvec) {
+    slab_ = layout_.body_size();
+    data_.assign(static_cast<std::size_t>(2 * slab_), store_t{});
+    if constexpr (P::has_norm) norm_.assign(static_cast<std::size_t>(2 * layout_.sites), 0.0f);
+  }
+
+  explicit CloverField(const Geometry& geom)
+      : CloverField(geom.half_volume(), geom.half_spatial_volume()) {}
+
+  const BlockLayout& layout() const { return layout_; }
+
+  std::int64_t device_bytes() const {
+    std::int64_t b = 2 * slab_ * std::int64_t(sizeof(store_t));
+    if constexpr (P::has_norm) b += std::int64_t(norm_.size()) * sizeof(float);
+    return b;
+  }
+
+  CloverSite<real_t> load(Parity parity, std::int64_t cb) const {
+    assert(cb >= 0 && cb < layout_.sites);
+    const std::int64_t base = parity_int(parity) * slab_;
+    real_t scale = 1;
+    if constexpr (P::has_norm)
+      scale = norm_[static_cast<std::size_t>(parity_int(parity) * layout_.sites + cb)];
+    CloverSite<real_t> site;
+    int n = 0;
+    for (int b = 0; b < 2; ++b) {
+      for (int d = 0; d < 6; ++d) site.block[b].diag[d] = raw(base + layout_.index(cb, n++)) * scale;
+      for (int o = 0; o < 15; ++o) {
+        const real_t re = raw(base + layout_.index(cb, n)) * scale;
+        const real_t im = raw(base + layout_.index(cb, n + 1)) * scale;
+        site.block[b].lower[o] = Complex<real_t>(re, im);
+        n += 2;
+      }
+    }
+    return site;
+  }
+
+  void store(Parity parity, std::int64_t cb, const CloverSite<double>& site) {
+    assert(cb >= 0 && cb < layout_.sites);
+    const std::int64_t base = parity_int(parity) * slab_;
+    double inv = 1;
+    if constexpr (P::has_norm) {
+      double m = 0;
+      for (int b = 0; b < 2; ++b) {
+        for (int d = 0; d < 6; ++d) m = std::max(m, std::abs(site.block[b].diag[d]));
+        for (int o = 0; o < 15; ++o) {
+          m = std::max(m, std::abs(site.block[b].lower[o].re));
+          m = std::max(m, std::abs(site.block[b].lower[o].im));
+        }
+      }
+      if (m == 0) m = 1e-37;
+      norm_[static_cast<std::size_t>(parity_int(parity) * layout_.sites + cb)] =
+          static_cast<float>(m);
+      inv = 1.0 / m;
+    }
+    int n = 0;
+    for (int b = 0; b < 2; ++b) {
+      for (int d = 0; d < 6; ++d)
+        set_raw(base + layout_.index(cb, n++), static_cast<real_t>(site.block[b].diag[d] * inv));
+      for (int o = 0; o < 15; ++o) {
+        set_raw(base + layout_.index(cb, n), static_cast<real_t>(site.block[b].lower[o].re * inv));
+        set_raw(base + layout_.index(cb, n + 1),
+                static_cast<real_t>(site.block[b].lower[o].im * inv));
+        n += 2;
+      }
+    }
+  }
+
+private:
+  real_t raw(std::int64_t i) const {
+    const store_t v = data_[static_cast<std::size_t>(i)];
+    if constexpr (P::value == Precision::Half)
+      return from_half(v);
+    else
+      return static_cast<real_t>(v);
+  }
+
+  void set_raw(std::int64_t i, real_t v) {
+    if constexpr (P::value == Precision::Half)
+      data_[static_cast<std::size_t>(i)] = to_half(static_cast<float>(v));
+    else
+      data_[static_cast<std::size_t>(i)] = static_cast<store_t>(v);
+  }
+
+  BlockLayout layout_{};
+  std::int64_t slab_ = 0;
+  std::vector<store_t> data_;
+  std::vector<float> norm_;
+};
+
+using CloverFieldD = CloverField<PrecDouble>;
+using CloverFieldS = CloverField<PrecSingle>;
+using CloverFieldH = CloverField<PrecHalf>;
+
+} // namespace quda

@@ -1,0 +1,94 @@
+#pragma once
+// Host-side ("CPU-ordered") fields: the naive ordering of equation (3) --
+// spacetime slowest, internal indices fastest -- used by the application
+// (Chroma/QDP++) side of the interface and by the reference operators.
+// Always double precision and over the full (both-parity) lattice.
+
+#include "lattice/geometry.h"
+#include "su3/clover_block.h"
+#include "su3/spinor.h"
+#include "su3/su3.h"
+
+#include <vector>
+
+namespace quda {
+
+class HostSpinorField {
+public:
+  HostSpinorField() = default;
+  explicit HostSpinorField(const Geometry& geom)
+      : geom_(geom), sites_(static_cast<std::size_t>(geom.volume())) {}
+
+  const Geometry& geom() const { return geom_; }
+
+  Spinor<double>& operator[](std::int64_t linear) { return sites_[static_cast<std::size_t>(linear)]; }
+  const Spinor<double>& operator[](std::int64_t linear) const {
+    return sites_[static_cast<std::size_t>(linear)];
+  }
+
+  Spinor<double>& at(const Coords& c) { return (*this)[geom_.linear_index(c)]; }
+  const Spinor<double>& at(const Coords& c) const { return (*this)[geom_.linear_index(c)]; }
+
+  void zero() { sites_.assign(sites_.size(), Spinor<double>{}); }
+
+private:
+  Geometry geom_;
+  std::vector<Spinor<double>> sites_;
+};
+
+inline double norm2(const HostSpinorField& f) {
+  double n = 0;
+  for (std::int64_t i = 0; i < f.geom().volume(); ++i) n += norm2(f[i]);
+  return n;
+}
+
+class HostGaugeField {
+public:
+  HostGaugeField() = default;
+  explicit HostGaugeField(const Geometry& geom)
+      : geom_(geom), links_(static_cast<std::size_t>(4 * geom.volume())) {}
+
+  const Geometry& geom() const { return geom_; }
+
+  // U_mu(x): the link from x to x+mu, stored at x (Section V-B convention)
+  SU3<double>& link(int mu, std::int64_t linear) {
+    return links_[static_cast<std::size_t>(mu * geom_.volume() + linear)];
+  }
+  const SU3<double>& link(int mu, std::int64_t linear) const {
+    return links_[static_cast<std::size_t>(mu * geom_.volume() + linear)];
+  }
+  SU3<double>& link(int mu, const Coords& c) { return link(mu, geom_.linear_index(c)); }
+  const SU3<double>& link(int mu, const Coords& c) const {
+    return link(mu, geom_.linear_index(c));
+  }
+
+  void set_identity() {
+    for (auto& u : links_) u = SU3<double>::identity();
+  }
+
+private:
+  Geometry geom_;
+  std::vector<SU3<double>> links_;
+};
+
+class HostCloverField {
+public:
+  HostCloverField() = default;
+  explicit HostCloverField(const Geometry& geom)
+      : geom_(geom), sites_(static_cast<std::size_t>(geom.volume())) {}
+
+  const Geometry& geom() const { return geom_; }
+
+  CloverSite<double>& operator[](std::int64_t linear) {
+    return sites_[static_cast<std::size_t>(linear)];
+  }
+  const CloverSite<double>& operator[](std::int64_t linear) const {
+    return sites_[static_cast<std::size_t>(linear)];
+  }
+
+private:
+  Geometry geom_;
+  std::vector<CloverSite<double>> sites_;
+};
+
+} // namespace quda

@@ -1,0 +1,140 @@
+#include "parallel/modeled_solver.h"
+
+#include <stdexcept>
+
+namespace quda::parallel {
+
+namespace {
+
+// dispatch a modeled halo dslash at a runtime precision
+void modeled_halo(comm::QmpGrid& grid, const Geometry& local, Precision prec, CommPolicy policy,
+                  TimeBoundary bc, Parity parity) {
+  HaloDslashConfig cfg;
+  cfg.policy = policy;
+  cfg.exec = Execution::Modeled;
+  cfg.out_parity = parity;
+  cfg.time_bc = bc;
+  switch (prec) {
+    case Precision::Double:
+      halo_dslash<PrecDouble>(grid, local, cfg, {});
+      break;
+    case Precision::Single:
+      halo_dslash<PrecSingle>(grid, local, cfg, {});
+      break;
+    case Precision::Half:
+      halo_dslash<PrecHalf>(grid, local, cfg, {});
+      break;
+  }
+}
+
+// one even-odd matrix application: two halo dslashes (clover fused)
+void modeled_matrix(comm::QmpGrid& grid, const Geometry& local, Precision prec,
+                    CommPolicy policy, TimeBoundary bc) {
+  modeled_halo(grid, local, prec, policy, bc, Parity::Odd);
+  modeled_halo(grid, local, prec, policy, bc, Parity::Even);
+}
+
+// one fused BLAS kernel + counters
+void modeled_blas(sim::RankContext& ctx, Precision prec, std::int64_t sites, int reads,
+                  int writes, double& eff_flops) {
+  double& clk = ctx.clock().now_us;
+  clk = ctx.device().launch_kernel(clk, kInteriorStream,
+                                   perf::blas_kernel_cost(prec, sites, reads, writes),
+                                   gpusim::LaunchConfig{256, 0});
+  clk = ctx.device().device_synchronize(clk);
+  eff_flops += perf::effective_blas_flops(sites, reads);
+}
+
+void modeled_reduction(sim::RankContext& ctx) { (void)ctx.allreduce_sum(0.0); }
+
+} // namespace
+
+ModeledSolverResult run_modeled_solver(sim::VirtualCluster& cluster,
+                                       const ModeledSolverConfig& config) {
+  ModeledSolverResult result;
+  result.iterations = config.iterations;
+
+  // --- memory gate -------------------------------------------------------------
+  const perf::SolverFootprint fp =
+      perf::solver_footprint(config.local, config.outer, config.sloppy);
+  result.footprint_bytes = fp.total();
+  gpusim::Device probe(cluster.spec().device, cluster.spec().bus);
+  if (!probe.fits(fp.total())) {
+    result.fits = false;
+    return result;
+  }
+
+  const Geometry local(config.local);
+  const std::int64_t vh = local.half_volume();
+  const Precision sloppy = config.sloppy.value_or(config.outer);
+  const bool mixed = sloppy != config.outer;
+
+  // every rank runs the same schedule; one rank accumulates the flop count
+  // (all ranks are identical, so aggregate = per-rank x N)
+  std::vector<double> eff_flops(static_cast<std::size_t>(cluster.spec().num_ranks()), 0.0);
+
+  cluster.run([&](sim::RankContext& ctx) {
+    const bool custom_topology = config.topology.num_ranks() == ctx.size() &&
+                                 config.topology.num_ranks() > 1;
+    comm::QmpGrid grid = custom_topology ? comm::QmpGrid(ctx, config.topology)
+                                         : comm::QmpGrid(ctx);
+    double& flops = eff_flops[static_cast<std::size_t>(ctx.rank())];
+
+    // setup: gauge ghost exchange (program initialization, Section VI-B)
+    switch (sloppy) {
+      case Precision::Double:
+        exchange_gauge_ghost<PrecDouble>(grid, local, nullptr, Execution::Modeled);
+        break;
+      case Precision::Single:
+        exchange_gauge_ghost<PrecSingle>(grid, local, nullptr, Execution::Modeled);
+        break;
+      case Precision::Half:
+        exchange_gauge_ghost<PrecHalf>(grid, local, nullptr, Execution::Modeled);
+        break;
+    }
+
+    // initial residual: one outer matrix apply + two BLAS sweeps + reduction
+    modeled_matrix(grid, local, config.outer, config.policy, config.time_bc);
+    flops += perf::effective_matrix_flops(vh);
+    modeled_blas(ctx, config.outer, vh, 2, 1, flops);
+    modeled_reduction(ctx);
+
+    for (int k = 1; k <= config.iterations; ++k) {
+      // BiCGstab iteration at sloppy precision: 2 matrix applies, the fused
+      // BLAS schedule of solve_bicgstab, and 3 fused reductions
+      modeled_matrix(grid, local, sloppy, config.policy, config.time_bc);
+      modeled_matrix(grid, local, sloppy, config.policy, config.time_bc);
+      flops += 2 * perf::effective_matrix_flops(vh);
+
+      modeled_blas(ctx, sloppy, vh, 2, 0, flops); // <r0, v>
+      modeled_reduction(ctx);
+      modeled_blas(ctx, sloppy, vh, 3, 2, flops); // s = r - alpha v
+      modeled_blas(ctx, sloppy, vh, 3, 0, flops); // <t, s>, <t, t>
+      modeled_reduction(ctx);
+      modeled_blas(ctx, sloppy, vh, 3, 1, flops); // x update
+      modeled_blas(ctx, sloppy, vh, 3, 1, flops); // r update + norms
+      modeled_reduction(ctx);
+      modeled_blas(ctx, sloppy, vh, 3, 1, flops); // p update
+
+      if (mixed && config.reliable_interval > 0 && k % config.reliable_interval == 0) {
+        // reliable update: fold x_lo, recompute the true residual at outer
+        // precision, convert back down (Section V-D)
+        modeled_blas(ctx, config.outer, vh, 3, 1, flops); // y += x_lo
+        modeled_matrix(grid, local, config.outer, config.policy, config.time_bc);
+        flops += perf::effective_matrix_flops(vh);
+        modeled_blas(ctx, config.outer, vh, 2, 1, flops); // r = b - Ay + norm
+        modeled_reduction(ctx);
+        modeled_blas(ctx, sloppy, vh, 1, 1, flops); // r_lo = convert(r)
+      }
+    }
+    ctx.barrier();
+  });
+
+  result.time_us = cluster.makespan_us();
+  double total_flops = 0;
+  for (double f : eff_flops) total_flops += f;
+  result.effective_gflops = total_flops / (result.time_us * 1e3); // flops/us -> Gflops
+  return result;
+}
+
+} // namespace quda::parallel

@@ -1,0 +1,48 @@
+#pragma once
+// Timing-only ("Modeled") execution of the parallel BiCGstab solver at
+// paper-scale volumes.
+//
+// The benchmark harness needs the performance of solves on lattices like
+// 32^3 x 256 across up to 32 GPUs -- volumes whose real arithmetic would
+// take hours per data point on one host core.  Sustained Gflops is a
+// per-iteration quantity, so we execute the solver's *schedule* (matrix
+// applications, fused BLAS sweeps, reductions, reliable updates) through
+// exactly the same halo-exchange and device-timing code paths the real
+// solver uses, with Execution::Modeled suppressing the arithmetic.  The
+// iteration count is a fixed input; it cancels out of the Gflops metric up
+// to the reliable-update overhead, which is modeled explicitly.
+
+#include "parallel/halo_dslash.h"
+#include "perfmodel/footprint.h"
+#include "sim/event_sim.h"
+
+#include <optional>
+
+namespace quda::parallel {
+
+struct ModeledSolverConfig {
+  LatticeDims local{};                       // per-rank lattice
+  // rank grid; empty dims (all 1) means the paper's 1-D ring over time
+  comm::GridTopology topology{};
+  Precision outer = Precision::Single;       // high/outer precision
+  std::optional<Precision> sloppy{};         // set => mixed precision
+  CommPolicy policy = CommPolicy::Overlap;
+  int iterations = 200;                      // Krylov iterations to simulate
+  int reliable_interval = 40;                // iterations per reliable update (mixed)
+  TimeBoundary time_bc = TimeBoundary::Antiperiodic;
+};
+
+struct ModeledSolverResult {
+  bool fits = true;               // device memory gate (footprint vs capacity)
+  std::int64_t footprint_bytes = 0;
+  double time_us = 0;             // simulated makespan of the solve
+  double effective_gflops = 0;    // aggregate sustained effective Gflops
+  int iterations = 0;
+};
+
+// run the modeled solve on `cluster` (one rank per GPU); returns aggregate
+// performance in the paper's effective-Gflops metric
+ModeledSolverResult run_modeled_solver(sim::VirtualCluster& cluster,
+                                       const ModeledSolverConfig& config);
+
+} // namespace quda::parallel

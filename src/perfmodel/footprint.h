@@ -1,0 +1,79 @@
+#pragma once
+// Device memory footprint of a solver configuration -- the model behind the
+// paper's observation that the mixed-precision solver on the 32^3 x 256
+// lattice needs at least 8 GPUs while uniform single precision fits on 4
+// (Section VII-C), and that double precision does not fit the 32^4-per-GPU
+// weak-scaling local volume (Section VII-B).
+//
+// Conventions (matching QUDA of that era):
+//  * single and half precision gauge fields use 2-row (12-real) compression;
+//    double precision stores full 18-real links;
+//  * the clover term is stored on the even parity and its inverse on the
+//    odd parity (what the Schur solve needs), 72 reals each;
+//  * BiCGstab keeps 8 outer-precision vectors (b', x, r, r0, p, v, s, t);
+//    a mixed solver adds 7 sloppy-precision vectors (r, r0, p, v, s, t, x);
+//  * half-precision fields carry float norm arrays.
+
+#include "lattice/geometry.h"
+#include "lattice/precision.h"
+
+#include <cstdint>
+#include <optional>
+
+namespace quda::perf {
+
+struct SolverFootprint {
+  std::int64_t gauge_bytes = 0;
+  std::int64_t clover_bytes = 0;
+  std::int64_t spinor_bytes = 0;
+  std::int64_t total() const { return gauge_bytes + clover_bytes + spinor_bytes; }
+};
+
+inline std::int64_t gauge_reals_per_link(Precision p) {
+  return p == Precision::Double ? 18 : 12;
+}
+
+inline std::int64_t spinor_vector_bytes(Precision p, std::int64_t half_volume,
+                                        std::int64_t face_sites) {
+  std::int64_t b = half_volume * 24 * bytes_per_real(p);
+  b += 2 * face_sites * 12 * bytes_per_real(p); // ghost end zone
+  if (p == Precision::Half) b += (half_volume + 2 * face_sites) * 4;
+  return b;
+}
+
+inline std::int64_t gauge_field_bytes(Precision p, const LatticeDims& local) {
+  const std::int64_t v = local.volume();
+  const std::int64_t pad = local.spatial_volume(); // one face of padding per parity pair
+  return (v + pad) * 4 * gauge_reals_per_link(p) * bytes_per_real(p);
+}
+
+inline std::int64_t clover_field_bytes(Precision p, const LatticeDims& local) {
+  // T on even + T^{-1} on odd = one full volume of 72-real blocks
+  std::int64_t b = local.volume() * 72 * bytes_per_real(p) / 2 * 2;
+  if (p == Precision::Half) b += local.volume() * 4;
+  return b;
+}
+
+// footprint of a BiCGstab solve at `outer` precision with an optional
+// different sloppy precision (mixed mode stores both copies of the gauge
+// and clover fields -- the memory price of mixed precision the paper calls
+// out in Section VII-C)
+inline SolverFootprint solver_footprint(const LatticeDims& local, Precision outer,
+                                        std::optional<Precision> sloppy = std::nullopt) {
+  SolverFootprint f;
+  const std::int64_t vh = local.volume() / 2;
+  const std::int64_t fs = local.spatial_volume() / 2;
+
+  f.gauge_bytes = gauge_field_bytes(outer, local);
+  f.clover_bytes = clover_field_bytes(outer, local);
+  f.spinor_bytes = 8 * spinor_vector_bytes(outer, vh, fs);
+
+  if (sloppy && *sloppy != outer) {
+    f.gauge_bytes += gauge_field_bytes(*sloppy, local);
+    f.clover_bytes += clover_field_bytes(*sloppy, local);
+    f.spinor_bytes += 7 * spinor_vector_bytes(*sloppy, vh, fs);
+  }
+  return f;
+}
+
+} // namespace quda::perf

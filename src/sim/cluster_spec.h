@@ -1,0 +1,66 @@
+#pragma once
+// Description of the simulated GPU cluster: nodes, GPUs per node, device
+// and bus models, and the network model.  The default configuration mirrors
+// the InfiniBand partition of the Jefferson Lab "9g" cluster used for the
+// paper's measurements (Section VII-A): 16 nodes x 2 GeForce GTX 285 on a
+// single QDR InfiniBand switch, dual-socket Nehalem hosts.
+
+#include "gpusim/device_spec.h"
+
+#include <stdexcept>
+
+namespace quda::sim {
+
+// Message-passing path model.  QDR InfiniBand provides less bandwidth than
+// x16 PCI-E (Section III); same-node ranks communicate through host memory.
+struct NetworkModel {
+  double ib_latency_us = 5.0;   // MPI small-message latency over IB
+  double ib_bw_gbs = 3.2;       // achievable QDR IB bandwidth
+  double shm_latency_us = 1.2;  // same-node (shared-memory) MPI latency
+  double shm_bw_gbs = 4.5;      // host memcpy-limited same-node bandwidth
+  double mpi_overhead_us = 0.7; // per-call host CPU cost of posting isend/irecv
+  // staging buffers cross the QPI link when the process is bound to the
+  // wrong socket, degrading the achievable message bandwidth as well
+  double numa_bw_penalty = 0.8;
+
+  double transfer_time_us(std::int64_t bytes, bool same_node, bool good_numa = true) const {
+    const double lat = same_node ? shm_latency_us : ib_latency_us;
+    double bw = (same_node ? shm_bw_gbs : ib_bw_gbs) * 1e3; // bytes/us
+    if (!good_numa) bw *= numa_bw_penalty;
+    return lat + static_cast<double>(bytes) / bw;
+  }
+};
+
+struct ClusterSpec {
+  int nodes = 1;
+  int gpus_per_node = 1;
+  gpusim::DeviceSpec device = gpusim::geforce_gtx285();
+  gpusim::BusModel bus{};
+  NetworkModel net{};
+  // false models binding each MPI process to the socket *opposite* its GPU
+  // (the deliberately-bad NUMA series in Fig. 5(a))
+  bool good_numa_binding = true;
+  // 0 = one rank per GPU; a smaller value leaves trailing GPUs idle (e.g. 3
+  // ranks on two dual-GPU nodes)
+  int ranks = 0;
+
+  int num_ranks() const { return ranks > 0 ? ranks : nodes * gpus_per_node; }
+  int node_of(int rank) const { return rank / gpus_per_node; }
+  bool same_node(int a, int b) const { return node_of(a) == node_of(b); }
+
+  // the paper's test bed, sized to `ranks` GPUs (2 per node, QDR IB)
+  static ClusterSpec jlab_9g(int ranks) {
+    if (ranks < 1) throw std::invalid_argument("need at least one rank");
+    ClusterSpec s;
+    s.gpus_per_node = ranks >= 2 ? 2 : 1;
+    s.nodes = (ranks + s.gpus_per_node - 1) / s.gpus_per_node;
+    s.ranks = ranks;
+    return s;
+  }
+
+  // the companion "9q" cluster: identical nodes and network, no GPUs
+  // (used for the CPU baseline comparison in Section VII-C)
+  static ClusterSpec jlab_9q(int ranks) { return jlab_9g(ranks); }
+};
+
+} // namespace quda::sim

@@ -1,0 +1,138 @@
+#include "sim/event_sim.h"
+
+#include <cmath>
+#include <exception>
+#include <stdexcept>
+#include <thread>
+
+namespace quda::sim {
+
+RankContext::RankContext(VirtualCluster& cluster, int rank, const ClusterSpec& spec)
+    : cluster_(cluster), rank_(rank), spec_(spec),
+      device_(spec.device, spec.bus, spec.good_numa_binding) {}
+
+int RankContext::size() const { return spec_.num_ranks(); }
+
+void RankContext::isend(int dst, int tag, std::vector<std::byte> payload,
+                        std::int64_t modeled_bytes) {
+  Message m;
+  m.payload = std::move(payload);
+  m.modeled_bytes = modeled_bytes;
+  m.send_time_us = clock_.now_us;
+  {
+    std::lock_guard<std::mutex> lock(cluster_.mutex_);
+    cluster_.channels_[{rank_, dst, tag}].queue.push_back(std::move(m));
+  }
+  cluster_.cv_.notify_all();
+  clock_.advance(spec_.net.mpi_overhead_us);
+}
+
+RankContext::PendingRecv RankContext::irecv(int src, int tag) {
+  PendingRecv p{src, tag, clock_.now_us};
+  clock_.advance(spec_.net.mpi_overhead_us);
+  return p;
+}
+
+RecvHandle RankContext::wait(const PendingRecv& pending) {
+  RecvHandle h;
+  {
+    std::unique_lock<std::mutex> lock(cluster_.mutex_);
+    auto& chan = cluster_.channels_[{pending.src, rank_, pending.tag}];
+    cluster_.cv_.wait(lock, [&] { return cluster_.aborted_ || !chan.queue.empty(); });
+    if (chan.queue.empty()) throw std::runtime_error("peer rank aborted during recv");
+    h.msg_ = std::move(chan.queue.front());
+    chan.queue.pop_front();
+  }
+  const double path =
+      spec_.net.transfer_time_us(h.msg_.modeled_bytes, spec_.same_node(pending.src, rank_),
+                                 spec_.good_numa_binding);
+  h.arrival_us_ = std::max(h.msg_.send_time_us, pending.post_time_us) + path;
+  clock_.now_us = std::max(clock_.now_us, h.arrival_us_);
+  clock_.advance(spec_.net.mpi_overhead_us);
+  return h;
+}
+
+RecvHandle RankContext::recv(int src, int tag) { return wait(irecv(src, tag)); }
+
+void RankContext::allreduce_sum(double* values, int count) {
+  const int n = spec_.num_ranks();
+  if (n == 1) return;
+
+  // tree reduction: ceil(log2 N) network steps after the last rank arrives
+  const int steps = static_cast<int>(std::ceil(std::log2(static_cast<double>(n))));
+  const double step_cost =
+      spec_.net.ib_latency_us + spec_.net.mpi_overhead_us; // small payload per step
+
+  std::unique_lock<std::mutex> lock(cluster_.mutex_);
+  auto& red = cluster_.red_;
+  const std::int64_t my_generation = red.generation;
+  if (red.sum.empty()) red.sum.assign(static_cast<std::size_t>(count), 0.0);
+  if (std::int64_t(red.sum.size()) != count)
+    throw std::logic_error("mismatched allreduce vector lengths across ranks");
+  for (int i = 0; i < count; ++i) red.sum[static_cast<std::size_t>(i)] += values[i];
+  red.max_time = std::max(red.max_time, clock_.now_us);
+  if (++red.arrived == n) {
+    red.result = std::move(red.sum);
+    red.sum.clear();
+    red.done_time = red.max_time + steps * step_cost;
+    red.max_time = 0;
+    red.arrived = 0;
+    ++red.generation;
+    cluster_.cv_.notify_all();
+  } else {
+    cluster_.cv_.wait(lock,
+                      [&] { return cluster_.aborted_ || red.generation != my_generation; });
+    if (red.generation == my_generation)
+      throw std::runtime_error("peer rank aborted during allreduce");
+  }
+  clock_.now_us = std::max(clock_.now_us, red.done_time);
+  for (int i = 0; i < count; ++i) values[i] = red.result[static_cast<std::size_t>(i)];
+}
+
+void RankContext::barrier() {
+  double v = 0.0;
+  allreduce_sum(&v, 1);
+}
+
+void VirtualCluster::run(const std::function<void(RankContext&)>& fn) {
+  const int n = spec_.num_ranks();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    aborted_ = false;
+    channels_.clear();
+  }
+  std::vector<std::unique_ptr<RankContext>> contexts;
+  contexts.reserve(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) contexts.push_back(std::make_unique<RankContext>(*this, r, spec_));
+
+  std::vector<std::thread> threads;
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  threads.reserve(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    threads.emplace_back([&, r] {
+      try {
+        fn(*contexts[static_cast<std::size_t>(r)]);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          aborted_ = true;
+        }
+        cv_.notify_all(); // unblock peers waiting on us
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+
+  makespan_us_ = 0;
+  for (auto& c : contexts) makespan_us_ = std::max(makespan_us_, c->clock().now_us);
+  channels_.clear();
+}
+
+} // namespace quda::sim

@@ -1,0 +1,141 @@
+#pragma once
+// Conservative discrete-event simulation of an SPMD message-passing program.
+//
+// One OS thread runs per simulated rank, executing *real* program logic
+// (including real numerics when desired).  Each rank owns a SimClock; local
+// work advances it by modeled durations.  Ranks interact only through the
+// message channels and collective operations below, whose completion times
+// are pure functions of the participants' clocks and the network model --
+// so simulated timings are deterministic regardless of OS scheduling.
+//
+// Semantics mirror the MPI subset that QMP exposes and the paper uses:
+// point-to-point non-blocking send/receive with handles, and all-reduce.
+
+#include "gpusim/device.h"
+#include "sim/cluster_spec.h"
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace quda::sim {
+
+struct SimClock {
+  double now_us = 0;
+  void advance(double us) { now_us += us; }
+};
+
+class VirtualCluster;
+
+// a matched in-flight message
+struct Message {
+  std::vector<std::byte> payload;  // empty in Modeled mode
+  std::int64_t modeled_bytes = 0;  // what the network model charges
+  double send_time_us = 0;         // sender clock when isend was posted
+};
+
+class RecvHandle {
+public:
+  // blocks (in wall time) until the message arrives; returns the receiver's
+  // simulated completion time given the time it started waiting
+  friend class RankContext;
+  std::vector<std::byte> take_payload() { return std::move(msg_.payload); }
+
+private:
+  Message msg_;
+  double arrival_us_ = 0;
+};
+
+// Per-rank execution context: the clock, the simulated GPU, and messaging.
+class RankContext {
+public:
+  RankContext(VirtualCluster& cluster, int rank, const ClusterSpec& spec);
+
+  int rank() const { return rank_; }
+  int size() const;
+  const ClusterSpec& spec() const { return spec_; }
+
+  SimClock& clock() { return clock_; }
+  gpusim::Device& device() { return device_; }
+
+  // post a non-blocking send; advances the clock by the MPI call overhead
+  void isend(int dst, int tag, std::vector<std::byte> payload, std::int64_t modeled_bytes);
+
+  // post a non-blocking receive; captures the post time so that a later
+  // wait() completes at  max(sender post time, recv post time) + path  --
+  // the MPI_Waitall semantics the overlapped implementation relies on
+  struct PendingRecv {
+    int src = 0;
+    int tag = 0;
+    double post_time_us = 0;
+  };
+  PendingRecv irecv(int src, int tag);
+  RecvHandle wait(const PendingRecv& pending);
+
+  // blocking receive: irecv + wait
+  RecvHandle recv(int src, int tag);
+
+  // all-reduce an elementwise sum across all ranks (one rendezvous for the
+  // whole vector, as a fused MPI_Allreduce); completes at
+  //   max_i(t_i) + ceil(log2 N) * tree step cost
+  void allreduce_sum(double* values, int count);
+  double allreduce_sum(double value) {
+    allreduce_sum(&value, 1);
+    return value;
+  }
+  void barrier();
+
+private:
+  VirtualCluster& cluster_;
+  int rank_;
+  const ClusterSpec& spec_;
+  SimClock clock_;
+  gpusim::Device device_;
+};
+
+class VirtualCluster {
+public:
+  explicit VirtualCluster(ClusterSpec spec) : spec_(std::move(spec)) {}
+
+  const ClusterSpec& spec() const { return spec_; }
+
+  // run fn on every rank (one thread each); rethrows the first exception
+  void run(const std::function<void(RankContext&)>& fn);
+
+  // maximum simulated completion time over all ranks of the last run()
+  double makespan_us() const { return makespan_us_; }
+
+private:
+  friend class RankContext;
+
+  struct Channel {
+    std::deque<Message> queue;
+  };
+  using ChannelKey = std::tuple<int, int, int>; // src, dst, tag
+
+  ClusterSpec spec_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::map<ChannelKey, Channel> channels_;
+  bool aborted_ = false; // a rank threw; peers must not block forever
+
+  // allreduce state (generation-counted)
+  struct Reduction {
+    int arrived = 0;
+    std::vector<double> sum;
+    double max_time = 0;
+    std::vector<double> result;
+    double done_time = 0;
+    std::int64_t generation = 0;
+  } red_;
+
+  double makespan_us_ = 0;
+};
+
+} // namespace quda::sim

@@ -1,0 +1,41 @@
+#pragma once
+// Abstract linear operator interface shared by the single-device and
+// multi-GPU even-odd Wilson-clover operators.  Solvers see only this
+// interface, so the same Krylov code runs unchanged on one device or on a
+// 32-GPU simulated cluster -- the parallel operator supplies halo-exchanged
+// matrix application and MPI-reduced global sums (Section VI-E).
+
+#include "blas/blas.h"
+#include "lattice/spinor_field.h"
+
+#include <cstdint>
+
+namespace quda {
+
+template <typename P> class LinearOperator {
+public:
+  virtual ~LinearOperator() = default;
+
+  // single-parity local sites of the vectors this operator acts on
+  virtual std::int64_t sites() const = 0;
+
+  virtual void apply(SpinorField<P>& out, const SpinorField<P>& in) = 0;
+  virtual void apply_dagger(SpinorField<P>& out, const SpinorField<P>& in) = 0;
+
+  // a zero vector shaped for this operator (correct ghost-zone layout for
+  // its decomposition); solvers allocate their temporaries through this
+  virtual SpinorField<P> make_vector() const = 0;
+
+  // reduce a locally-computed sum across all ranks; identity on one device
+  virtual double global_sum(double local) { return local; }
+  virtual complexd global_sum(const complexd& local) { return local; }
+
+  // notify the timing layer that a fused BLAS kernel swept `vectors` of
+  // this operator's size; the numerics layer has already done the work
+  virtual void account_blas(int vectors_read, int vectors_written) {
+    (void)vectors_read;
+    (void)vectors_written;
+  }
+};
+
+} // namespace quda

@@ -1,0 +1,16 @@
+#include "solvers/solver.h"
+
+#include <sstream>
+
+namespace quda {
+
+std::string SolverStats::summary() const {
+  std::ostringstream os;
+  os << (converged ? "converged" : "NOT converged") << " in " << iterations << " iterations";
+  if (reliable_updates > 0) os << " (" << reliable_updates << " reliable updates)";
+  if (restarts > 0) os << " (" << restarts << " restarts)";
+  os << ", true |r|/|b| = " << true_residual;
+  return os.str();
+}
+
+} // namespace quda

@@ -1,0 +1,33 @@
+#pragma once
+// Common solver parameter and result types.
+//
+// The delta parameter controls the reliable-update trigger of the mixed
+// precision solvers exactly as in the paper's experiments (Section VII-A):
+// a reliable update -- recomputation of the true residual in high precision
+// and accumulation of the low-precision solution -- fires when the iterated
+// residual drops below delta times the maximum residual observed since the
+// last update.
+
+#include <cstdint>
+#include <string>
+
+namespace quda {
+
+struct SolverParams {
+  double tol = 1e-7;       // target relative residual |r| / |b|
+  double delta = 1e-1;     // reliable update threshold (mixed precision only)
+  int max_iter = 10000;
+  bool verbose = false;
+};
+
+struct SolverStats {
+  int iterations = 0;        // total Krylov iterations
+  int reliable_updates = 0;  // high-precision residual recomputations
+  int restarts = 0;          // explicit restarts (defect correction outer steps)
+  double true_residual = 0;  // |b - Ax| / |b| measured at exit
+  bool converged = false;
+
+  std::string summary() const;
+};
+
+} // namespace quda

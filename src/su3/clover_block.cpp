@@ -1,0 +1,77 @@
+#include "su3/clover_block.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace quda {
+
+Dense6 to_dense(const HermitianBlock<double>& h) {
+  Dense6 m{};
+  for (std::size_t r = 0; r < 6; ++r)
+    for (std::size_t c = 0; c < 6; ++c) m[r][c] = h.at(r, c);
+  return m;
+}
+
+HermitianBlock<double> from_dense(const Dense6& m, double hermiticity_tol) {
+  // verify Hermiticity before discarding the upper triangle
+  double dev = 0, scale = 0;
+  for (std::size_t r = 0; r < 6; ++r)
+    for (std::size_t c = 0; c < 6; ++c) {
+      dev += norm2(m[r][c] - conj(m[c][r]));
+      scale += norm2(m[r][c]);
+    }
+  if (scale > 0 && dev > hermiticity_tol * hermiticity_tol * scale)
+    throw std::invalid_argument("from_dense: matrix is not Hermitian");
+
+  HermitianBlock<double> h;
+  for (std::size_t r = 0; r < 6; ++r) h.diag[r] = m[r][r].re;
+  for (std::size_t r = 1; r < 6; ++r)
+    for (std::size_t c = 0; c < r; ++c)
+      h.lower[HermitianBlock<double>::tri_index(r, c)] =
+          (m[r][c] + conj(m[c][r])) * 0.5; // symmetrized
+  return h;
+}
+
+HermitianBlock<double> invert(const HermitianBlock<double>& h) {
+  Dense6 a = to_dense(h);
+  // augmented inverse via Gauss-Jordan with partial pivoting
+  Dense6 inv{};
+  for (std::size_t i = 0; i < 6; ++i) inv[i][i] = complexd(1.0);
+
+  for (std::size_t col = 0; col < 6; ++col) {
+    // pivot
+    std::size_t piv = col;
+    double best = norm2(a[col][col]);
+    for (std::size_t r = col + 1; r < 6; ++r) {
+      const double v = norm2(a[r][col]);
+      if (v > best) {
+        best = v;
+        piv = r;
+      }
+    }
+    if (best == 0.0) throw std::domain_error("clover block is singular");
+    if (piv != col) {
+      std::swap(a[piv], a[col]);
+      std::swap(inv[piv], inv[col]);
+    }
+    const complexd d = a[col][col];
+    for (std::size_t c = 0; c < 6; ++c) {
+      a[col][c] = a[col][c] / d;
+      inv[col][c] = inv[col][c] / d;
+    }
+    for (std::size_t r = 0; r < 6; ++r) {
+      if (r == col) continue;
+      const complexd f = a[r][col];
+      if (f.re == 0.0 && f.im == 0.0) continue;
+      for (std::size_t c = 0; c < 6; ++c) {
+        a[r][c] -= f * a[col][c];
+        inv[r][c] -= f * inv[col][c];
+      }
+    }
+  }
+  // the inverse of a Hermitian matrix is Hermitian; repack (symmetrizing away
+  // rounding noise)
+  return from_dense(inv, 1e-8);
+}
+
+} // namespace quda

@@ -1,0 +1,105 @@
+#pragma once
+// Lightweight complex arithmetic for LQCD kernels.
+//
+// We deliberately avoid std::complex in the hot kernels: its operator*
+// performs NaN/Inf fix-ups mandated by Annex G unless -ffast-math is in
+// effect, and we want identical, predictable code generation in every
+// translation unit.  The type is layout-compatible with std::complex<T>
+// (two consecutive reals), so fields can be reinterpreted for I/O.
+
+#include <cmath>
+#include <iosfwd>
+#include <ostream>
+
+namespace quda {
+
+template <typename T> struct Complex {
+  T re{};
+  T im{};
+
+  constexpr Complex() = default;
+  constexpr Complex(T r, T i) : re(r), im(i) {}
+  constexpr explicit Complex(T r) : re(r), im(0) {}
+
+  template <typename U>
+  constexpr explicit Complex(const Complex<U>& o)
+      : re(static_cast<T>(o.re)), im(static_cast<T>(o.im)) {}
+
+  constexpr Complex& operator+=(const Complex& o) {
+    re += o.re;
+    im += o.im;
+    return *this;
+  }
+  constexpr Complex& operator-=(const Complex& o) {
+    re -= o.re;
+    im -= o.im;
+    return *this;
+  }
+  constexpr Complex& operator*=(const Complex& o) {
+    const T r = re * o.re - im * o.im;
+    const T i = re * o.im + im * o.re;
+    re = r;
+    im = i;
+    return *this;
+  }
+  constexpr Complex& operator*=(T s) {
+    re *= s;
+    im *= s;
+    return *this;
+  }
+
+  friend constexpr Complex operator+(Complex a, const Complex& b) { return a += b; }
+  friend constexpr Complex operator-(Complex a, const Complex& b) { return a -= b; }
+  friend constexpr Complex operator*(Complex a, const Complex& b) { return a *= b; }
+  friend constexpr Complex operator*(Complex a, T s) { return a *= s; }
+  friend constexpr Complex operator*(T s, Complex a) { return a *= s; }
+  friend constexpr Complex operator-(const Complex& a) { return {-a.re, -a.im}; }
+
+  friend constexpr Complex operator/(const Complex& a, const Complex& b) {
+    const T d = b.re * b.re + b.im * b.im;
+    return {(a.re * b.re + a.im * b.im) / d, (a.im * b.re - a.re * b.im) / d};
+  }
+  friend constexpr Complex operator/(const Complex& a, T s) { return {a.re / s, a.im / s}; }
+
+  friend constexpr bool operator==(const Complex& a, const Complex& b) {
+    return a.re == b.re && a.im == b.im;
+  }
+};
+
+template <typename T> constexpr Complex<T> conj(const Complex<T>& a) { return {a.re, -a.im}; }
+template <typename T> constexpr T norm2(const Complex<T>& a) { return a.re * a.re + a.im * a.im; }
+template <typename T> inline T abs(const Complex<T>& a) { return std::sqrt(norm2(a)); }
+
+// a * b with a conjugated: conj(a) * b — common enough in SU(3) kernels to name.
+template <typename T>
+constexpr Complex<T> conj_mul(const Complex<T>& a, const Complex<T>& b) {
+  return {a.re * b.re + a.im * b.im, a.re * b.im - a.im * b.re};
+}
+
+// fused multiply-accumulate: acc += a * b
+template <typename T>
+constexpr void cmad(Complex<T>& acc, const Complex<T>& a, const Complex<T>& b) {
+  acc.re += a.re * b.re - a.im * b.im;
+  acc.im += a.re * b.im + a.im * b.re;
+}
+
+// acc += conj(a) * b
+template <typename T>
+constexpr void conj_cmad(Complex<T>& acc, const Complex<T>& a, const Complex<T>& b) {
+  acc.re += a.re * b.re + a.im * b.im;
+  acc.im += a.re * b.im - a.im * b.re;
+}
+
+// multiplication by ±i without forming a temporary complex constant
+template <typename T> constexpr Complex<T> times_i(const Complex<T>& a) { return {-a.im, a.re}; }
+template <typename T> constexpr Complex<T> times_minus_i(const Complex<T>& a) { return {a.im, -a.re}; }
+
+template <typename T>
+std::ostream& operator<<(std::ostream& os, const Complex<T>& c) {
+  return os << "(" << c.re << (c.im < 0 ? "" : "+") << c.im << "i)";
+}
+
+using complexd = Complex<double>;
+using complexf = Complex<float>;
+
+} // namespace quda

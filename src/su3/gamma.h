@@ -1,0 +1,183 @@
+#pragma once
+// Euclidean gamma matrices, spin projectors, and basis rotations.
+//
+// Two bases are supported:
+//
+//  * GammaBasis::DeGrandRossi -- the "conventional chiral basis" used by
+//    Chroma/QDP++ at the library interface (gamma_5 diagonal).
+//  * GammaBasis::NonRelativistic -- QUDA's internal basis, in which the
+//    temporal projectors P(+/-)4 = 1 +/- gamma_4 are *diagonal*
+//    (equation (6) of the paper).  This halves the data transferred for
+//    temporal gathers -- exactly the property the multi-GPU time-slicing
+//    decomposition exploits.
+//
+// The unitary intertwiner S with  gamma^NR_mu = S gamma^DR_mu S^dag  is
+// derived *numerically* from the two representations (Schur averaging over
+// the finite Clifford group), rather than hand-coded, so the basis change
+// used at the API boundary is correct by construction and checked by tests.
+//
+// Hot-path kernels never touch dense 4x4 spin matrices: the projector
+// structure in the internal basis is encoded as 2x2 spin blocks
+// (gamma_k = [[0, b_k], [b_k^dag, 0]], gamma_4 = diag(1,1,-1,-1)) so that
+// projection produces 12 numbers and reconstruction is a 2x2 spin rotation.
+
+#include "su3/complex.h"
+#include "su3/spinor.h"
+
+#include <array>
+#include <cstddef>
+
+namespace quda {
+
+enum class GammaBasis { DeGrandRossi, NonRelativistic };
+
+// dense 4x4 complex spin matrix (reference paths, clover construction, tests)
+struct SpinMatrix {
+  std::array<std::array<complexd, 4>, 4> e{};
+
+  complexd& operator()(std::size_t r, std::size_t c) { return e[r][c]; }
+  const complexd& operator()(std::size_t r, std::size_t c) const { return e[r][c]; }
+
+  static SpinMatrix identity();
+  static SpinMatrix zero() { return {}; }
+
+  SpinMatrix& operator+=(const SpinMatrix& o);
+  SpinMatrix& operator-=(const SpinMatrix& o);
+  SpinMatrix& operator*=(const complexd& a);
+  friend SpinMatrix operator+(SpinMatrix a, const SpinMatrix& b) { return a += b; }
+  friend SpinMatrix operator-(SpinMatrix a, const SpinMatrix& b) { return a -= b; }
+  friend SpinMatrix operator*(const SpinMatrix& a, const SpinMatrix& b);
+  friend SpinMatrix operator*(SpinMatrix a, const complexd& s) { return a *= s; }
+};
+
+SpinMatrix adjoint(const SpinMatrix& m);
+double frobenius_dist2(const SpinMatrix& a, const SpinMatrix& b);
+
+// Apply a dense spin matrix to the spin index of a spinor (color untouched).
+template <typename T>
+Spinor<T> apply_spin(const SpinMatrix& m, const Spinor<T>& p) {
+  Spinor<T> out;
+  for (std::size_t r = 0; r < 4; ++r)
+    for (std::size_t c = 0; c < 4; ++c) {
+      const Complex<T> w(static_cast<T>(m.e[r][c].re), static_cast<T>(m.e[r][c].im));
+      if (w.re == T(0) && w.im == T(0)) continue;
+      for (std::size_t col = 0; col < 3; ++col) cmad(out.s[r][col], w, p.s[c][col]);
+    }
+  return out;
+}
+
+// --- dense tables -----------------------------------------------------------
+
+// gamma_mu in the given basis; mu in [0,4): 0..2 spatial, 3 temporal.
+const SpinMatrix& gamma(GammaBasis basis, int mu);
+// gamma_5 = gamma_1 gamma_2 gamma_3 gamma_4 in the given basis.
+const SpinMatrix& gamma5(GammaBasis basis);
+// sigma_{mu,nu} = (i/2)[gamma_mu, gamma_nu] in the given basis.
+SpinMatrix sigma_munu(GammaBasis basis, int mu, int nu);
+// projector P = 1 + sign*gamma_mu (sign = +1 or -1), dense form.
+SpinMatrix projector(GammaBasis basis, int mu, int sign);
+
+// Unitary S with gamma^NR = S gamma^DR S^dag.  Row-major 4x4.
+const SpinMatrix& basis_rotation_dr_to_nr();
+
+// Unitary W whose columns are gamma_5 eigenvectors in the internal basis:
+// W^dag gamma_5^NR W = diag(+1, +1, -1, -1).  The clover term commutes with
+// gamma_5 and is applied as two 6x6 blocks in this eigenbasis; spinors are
+// rotated by W^dag / W around the block application.
+const SpinMatrix& chiral_transform();
+
+// Rotate a spinor between bases at the API boundary.
+template <typename T>
+Spinor<T> rotate_basis(GammaBasis from, GammaBasis to, const Spinor<T>& p) {
+  if (from == to) return p;
+  const SpinMatrix& s = basis_rotation_dr_to_nr();
+  if (from == GammaBasis::DeGrandRossi) return apply_spin(s, p);
+  return apply_spin(adjoint(s), p);
+}
+
+// --- fast projection in the internal (NonRelativistic) basis ---------------
+
+// 2x2 complex spin block, the off-diagonal block b_k of gamma_k.
+struct Mat2 {
+  std::array<std::array<complexd, 2>, 2> e{};
+};
+
+// b_mu for mu in 0..2 (for mu==3 the projector is diagonal and no spin
+// rotation is needed).
+const Mat2& gamma_spatial_block(int mu);
+
+namespace detail {
+// h = b * v acting on the spin index of a half spinor, possibly scaled.
+template <typename T>
+inline HalfSpinor<T> apply_block(const Mat2& b, const HalfSpinor<T>& v, T scale) {
+  HalfSpinor<T> out;
+  for (std::size_t r = 0; r < 2; ++r)
+    for (std::size_t c = 0; c < 2; ++c) {
+      const Complex<T> w(static_cast<T>(b.e[r][c].re) * scale,
+                         static_cast<T>(b.e[r][c].im) * scale);
+      if (w.re == T(0) && w.im == T(0)) continue;
+      for (std::size_t col = 0; col < 3; ++col) cmad(out.s[r][col], w, v.s[c][col]);
+    }
+  return out;
+}
+template <typename T>
+inline HalfSpinor<T> apply_block_dag(const Mat2& b, const HalfSpinor<T>& v, T scale) {
+  HalfSpinor<T> out;
+  for (std::size_t r = 0; r < 2; ++r)
+    for (std::size_t c = 0; c < 2; ++c) {
+      // (b^dag)_{rc} = conj(b_{cr})
+      const Complex<T> w(static_cast<T>(b.e[c][r].re) * scale,
+                         static_cast<T>(-b.e[c][r].im) * scale);
+      if (w.re == T(0) && w.im == T(0)) continue;
+      for (std::size_t col = 0; col < 3; ++col) cmad(out.s[r][col], w, v.s[c][col]);
+    }
+  return out;
+}
+} // namespace detail
+
+// Project: h = top two spin components of (1 + sign*gamma_mu) psi, in the
+// internal basis.  The output is 12 numbers -- the quantity communicated in
+// the face exchange.
+//
+// For spatial mu: (P psi)_upper = psi_u + sign * b_mu psi_l.
+// For temporal mu (gamma_4 diagonal): P+4 psi = (2 psi_0, 2 psi_1, 0, 0) and
+// P-4 psi = (0, 0, 2 psi_2, 2 psi_3); we transport the nonzero half.
+template <typename T>
+inline HalfSpinor<T> project(int mu, int sign, const Spinor<T>& p) {
+  HalfSpinor<T> h;
+  if (mu == 3) {
+    const std::size_t base = (sign > 0) ? 0 : 2;
+    h.s[0] = p.s[base] * T(2);
+    h.s[1] = p.s[base + 1] * T(2);
+    return h;
+  }
+  HalfSpinor<T> lower;
+  lower.s[0] = p.s[2];
+  lower.s[1] = p.s[3];
+  const HalfSpinor<T> rot = detail::apply_block(gamma_spatial_block(mu), lower,
+                                                static_cast<T>(sign));
+  h.s[0] = p.s[0] + rot.s[0];
+  h.s[1] = p.s[1] + rot.s[1];
+  return h;
+}
+
+// Reconstruct: out += R(h), the rank-2 completion of the projector.
+// For spatial mu: out_u += h; out_l += sign * b_mu^dag h.
+// For temporal mu: out_{upper or lower} += h depending on sign.
+template <typename T>
+inline void reconstruct_add(int mu, int sign, const HalfSpinor<T>& h, Spinor<T>& out) {
+  if (mu == 3) {
+    const std::size_t base = (sign > 0) ? 0 : 2;
+    out.s[base] += h.s[0];
+    out.s[base + 1] += h.s[1];
+    return;
+  }
+  out.s[0] += h.s[0];
+  out.s[1] += h.s[1];
+  const HalfSpinor<T> rot = detail::apply_block_dag(gamma_spatial_block(mu), h,
+                                                    static_cast<T>(sign));
+  out.s[2] += rot.s[0];
+  out.s[3] += rot.s[1];
+}
+
+} // namespace quda

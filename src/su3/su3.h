@@ -1,0 +1,202 @@
+#pragma once
+// SU(3) color matrices and color vectors.
+//
+// A link matrix U lives on the edge between lattice sites x and x+mu and is
+// a special unitary 3x3 complex matrix.  QUDA stores only the first two rows
+// ("12-real" or 2-row compression) and reconstructs the third row in
+// registers from the cross product of the conjugates of the first two rows
+// (Section V-C1 of the paper).  Both the full and compressed representations
+// are provided here.
+
+#include "su3/complex.h"
+
+#include <array>
+#include <cstddef>
+
+namespace quda {
+
+template <typename T> struct ColorVector {
+  std::array<Complex<T>, 3> c{};
+
+  constexpr Complex<T>& operator[](std::size_t i) { return c[i]; }
+  constexpr const Complex<T>& operator[](std::size_t i) const { return c[i]; }
+
+  constexpr ColorVector& operator+=(const ColorVector& o) {
+    for (std::size_t i = 0; i < 3; ++i) c[i] += o.c[i];
+    return *this;
+  }
+  constexpr ColorVector& operator-=(const ColorVector& o) {
+    for (std::size_t i = 0; i < 3; ++i) c[i] -= o.c[i];
+    return *this;
+  }
+  constexpr ColorVector& operator*=(T s) {
+    for (std::size_t i = 0; i < 3; ++i) c[i] *= s;
+    return *this;
+  }
+  constexpr ColorVector& operator*=(const Complex<T>& s) {
+    for (std::size_t i = 0; i < 3; ++i) c[i] *= s;
+    return *this;
+  }
+  friend constexpr ColorVector operator+(ColorVector a, const ColorVector& b) { return a += b; }
+  friend constexpr ColorVector operator-(ColorVector a, const ColorVector& b) { return a -= b; }
+  friend constexpr ColorVector operator*(ColorVector a, T s) { return a *= s; }
+  friend constexpr ColorVector operator*(T s, ColorVector a) { return a *= s; }
+};
+
+template <typename T> inline T norm2(const ColorVector<T>& v) {
+  T s = 0;
+  for (std::size_t i = 0; i < 3; ++i) s += norm2(v.c[i]);
+  return s;
+}
+
+// Hermitian inner product <a, b> = sum_i conj(a_i) b_i.
+template <typename T>
+inline Complex<T> dot(const ColorVector<T>& a, const ColorVector<T>& b) {
+  Complex<T> s{};
+  for (std::size_t i = 0; i < 3; ++i) conj_cmad(s, a.c[i], b.c[i]);
+  return s;
+}
+
+template <typename T> struct SU3 {
+  // row-major: e[row][col]
+  std::array<std::array<Complex<T>, 3>, 3> e{};
+
+  constexpr Complex<T>& operator()(std::size_t r, std::size_t c) { return e[r][c]; }
+  constexpr const Complex<T>& operator()(std::size_t r, std::size_t c) const { return e[r][c]; }
+
+  static constexpr SU3 identity() {
+    SU3 m;
+    for (std::size_t i = 0; i < 3; ++i) m.e[i][i] = Complex<T>(T(1));
+    return m;
+  }
+
+  constexpr SU3& operator+=(const SU3& o) {
+    for (std::size_t r = 0; r < 3; ++r)
+      for (std::size_t c = 0; c < 3; ++c) e[r][c] += o.e[r][c];
+    return *this;
+  }
+  constexpr SU3& operator*=(T s) {
+    for (std::size_t r = 0; r < 3; ++r)
+      for (std::size_t c = 0; c < 3; ++c) e[r][c] *= s;
+    return *this;
+  }
+  friend constexpr SU3 operator+(SU3 a, const SU3& b) { return a += b; }
+  friend constexpr SU3 operator*(SU3 a, T s) { return a *= s; }
+};
+
+template <typename T> constexpr SU3<T> adjoint(const SU3<T>& m) {
+  SU3<T> a;
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 3; ++c) a.e[r][c] = conj(m.e[c][r]);
+  return a;
+}
+
+template <typename T> constexpr SU3<T> operator*(const SU3<T>& a, const SU3<T>& b) {
+  SU3<T> m;
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 3; ++c) {
+      Complex<T> s{};
+      for (std::size_t k = 0; k < 3; ++k) cmad(s, a.e[r][k], b.e[k][c]);
+      m.e[r][c] = s;
+    }
+  return m;
+}
+
+// U * v
+template <typename T>
+constexpr ColorVector<T> operator*(const SU3<T>& m, const ColorVector<T>& v) {
+  ColorVector<T> o;
+  for (std::size_t r = 0; r < 3; ++r) {
+    Complex<T> s{};
+    for (std::size_t k = 0; k < 3; ++k) cmad(s, m.e[r][k], v.c[k]);
+    o.c[r] = s;
+  }
+  return o;
+}
+
+// U^dagger * v without forming the adjoint ("matrix conjugation performed at
+// no cost through register relabeling", Section V-B).
+template <typename T>
+constexpr ColorVector<T> adj_mul(const SU3<T>& m, const ColorVector<T>& v) {
+  ColorVector<T> o;
+  for (std::size_t r = 0; r < 3; ++r) {
+    Complex<T> s{};
+    for (std::size_t k = 0; k < 3; ++k) conj_cmad(s, m.e[k][r], v.c[k]);
+    o.c[r] = s;
+  }
+  return o;
+}
+
+template <typename T> constexpr Complex<T> det(const SU3<T>& m) {
+  return m.e[0][0] * (m.e[1][1] * m.e[2][2] - m.e[1][2] * m.e[2][1]) -
+         m.e[0][1] * (m.e[1][0] * m.e[2][2] - m.e[1][2] * m.e[2][0]) +
+         m.e[0][2] * (m.e[1][0] * m.e[2][1] - m.e[1][1] * m.e[2][0]);
+}
+
+// Frobenius distance^2 between two matrices; used by the unitarity tests.
+template <typename T> inline T frobenius_dist2(const SU3<T>& a, const SU3<T>& b) {
+  T s = 0;
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 3; ++c) s += norm2(a.e[r][c] - b.e[r][c]);
+  return s;
+}
+
+// --- 2-row ("12-real") gauge compression -----------------------------------
+
+// Compressed representation: the first two rows only.
+template <typename T> struct SU3Compressed {
+  std::array<std::array<Complex<T>, 3>, 2> row{};
+};
+
+template <typename T> constexpr SU3Compressed<T> compress(const SU3<T>& m) {
+  SU3Compressed<T> c;
+  c.row[0] = m.e[0];
+  c.row[1] = m.e[1];
+  return c;
+}
+
+// Third row from unitarity: row2 = conj(row0 x row1).
+template <typename T>
+constexpr std::array<Complex<T>, 3> reconstruct_third_row(
+    const std::array<Complex<T>, 3>& r0, const std::array<Complex<T>, 3>& r1) {
+  std::array<Complex<T>, 3> r2;
+  r2[0] = conj(r0[1] * r1[2] - r0[2] * r1[1]);
+  r2[1] = conj(r0[2] * r1[0] - r0[0] * r1[2]);
+  r2[2] = conj(r0[0] * r1[1] - r0[1] * r1[0]);
+  return r2;
+}
+
+template <typename T> constexpr SU3<T> decompress(const SU3Compressed<T>& c) {
+  SU3<T> m;
+  m.e[0] = c.row[0];
+  m.e[1] = c.row[1];
+  m.e[2] = reconstruct_third_row(c.row[0], c.row[1]);
+  return m;
+}
+
+// Gram-Schmidt re-unitarization onto the SU(3) manifold.  Used when building
+// "weak field" configurations (Section VII-A) and after accumulating noise.
+template <typename T> inline SU3<T> reunitarize(const SU3<T>& m) {
+  SU3<T> u = m;
+  // normalize row 0
+  T n0 = 0;
+  for (std::size_t c = 0; c < 3; ++c) n0 += norm2(u.e[0][c]);
+  n0 = T(1) / std::sqrt(n0);
+  for (std::size_t c = 0; c < 3; ++c) u.e[0][c] *= n0;
+  // orthogonalize row 1 against row 0, then normalize
+  Complex<T> proj{};
+  for (std::size_t c = 0; c < 3; ++c) conj_cmad(proj, u.e[0][c], u.e[1][c]);
+  for (std::size_t c = 0; c < 3; ++c) u.e[1][c] -= proj * u.e[0][c];
+  T n1 = 0;
+  for (std::size_t c = 0; c < 3; ++c) n1 += norm2(u.e[1][c]);
+  n1 = T(1) / std::sqrt(n1);
+  for (std::size_t c = 0; c < 3; ++c) u.e[1][c] *= n1;
+  // row 2 from unitarity (guarantees det = +1)
+  u.e[2] = reconstruct_third_row(u.e[0], u.e[1]);
+  return u;
+}
+
+using SU3d = SU3<double>;
+using SU3f = SU3<float>;
+
+} // namespace quda

@@ -1,0 +1,154 @@
+// Tests for the quenched gauge-generation module: staple algebra, exact
+// invariances (unitarity, overrelaxation action preservation), and the
+// statistical agreement of the heatbath with an independent Metropolis
+// sampler of the same action.
+
+#include "dirac/gauge_init.h"
+#include "gauge/update.h"
+
+#include <gtest/gtest.h>
+
+namespace quda {
+namespace {
+
+double re_tr(const SU3<double>& m) {
+  double s = 0;
+  for (std::size_t d = 0; d < 3; ++d) s += m.e[d][d].re;
+  return s;
+}
+
+// total Re tr of all plaquettes (proportional to the Wilson action)
+double plaquette_retr_sum(const HostGaugeField& u) {
+  return average_plaquette(u) * 3.0 * 6.0 * static_cast<double>(u.geom().volume());
+}
+
+TEST(GaugeUpdate, StapleReproducesLocalAction) {
+  // sum over links of Re tr(U K^dag) counts every plaquette 4 times (once
+  // per link it contains)
+  const Geometry g({4, 4, 4, 4});
+  HostGaugeField u(g);
+  make_random_gauge(u, 30001);
+
+  double via_staples = 0;
+  for (std::int64_t i = 0; i < g.volume(); ++i) {
+    const Coords x = g.coords(i);
+    for (int mu = 0; mu < 4; ++mu)
+      via_staples += re_tr(u.link(mu, x) * adjoint(gauge::staple_sum(u, x, mu)));
+  }
+  EXPECT_NEAR(via_staples / 4.0, plaquette_retr_sum(u), 1e-6 * std::abs(via_staples));
+}
+
+TEST(GaugeUpdate, SweepsPreserveUnitarity) {
+  const Geometry g({4, 4, 4, 4});
+  HostGaugeField u(g);
+  make_weak_field_gauge(u, 0.2, 30002);
+  std::mt19937_64 rng(30003);
+  gauge::heatbath_sweep(u, 5.5, rng);
+  gauge::overrelax_sweep(u, rng);
+  gauge::metropolis_sweep(u, 5.5, 0.2, 2, rng);
+
+  for (std::int64_t i = 0; i < g.volume(); ++i)
+    for (int mu = 0; mu < 4; ++mu) {
+      const SU3<double>& l = u.link(mu, g.coords(i));
+      EXPECT_LT(frobenius_dist2(l * adjoint(l), SU3<double>::identity()), 1e-20);
+      EXPECT_NEAR(det(l).re, 1.0, 1e-10);
+    }
+}
+
+TEST(GaugeUpdate, OverrelaxationPreservesAction) {
+  const Geometry g({4, 4, 4, 4});
+  HostGaugeField u(g);
+  make_random_gauge(u, 30004);
+  std::mt19937_64 rng(30005);
+
+  const double before = plaquette_retr_sum(u);
+  gauge::overrelax_sweep(u, rng);
+  const double after = plaquette_retr_sum(u);
+  EXPECT_NEAR(after, before, 1e-7 * std::abs(before))
+      << "micro-canonical update must leave the action invariant";
+}
+
+TEST(GaugeUpdate, OverrelaxationMovesTheConfiguration) {
+  const Geometry g({4, 4, 4, 4});
+  HostGaugeField u(g);
+  make_random_gauge(u, 30006);
+  const HostGaugeField orig = u;
+  std::mt19937_64 rng(30007);
+  gauge::overrelax_sweep(u, rng);
+  double moved = 0;
+  for (std::int64_t i = 0; i < g.volume(); ++i)
+    for (int mu = 0; mu < 4; ++mu)
+      moved += frobenius_dist2(u.link(mu, g.coords(i)), orig.link(mu, g.coords(i)));
+  EXPECT_GT(moved, 1.0) << "overrelaxation should decorrelate, not fix, the links";
+}
+
+TEST(GaugeUpdate, PlaquetteIncreasesWithBeta) {
+  const Geometry g({4, 4, 4, 4});
+  double plaq[2];
+  int k = 0;
+  for (double beta : {2.0, 8.0}) {
+    HostGaugeField u(g);
+    make_random_gauge(u, 30008); // hot start
+    std::mt19937_64 rng(30009);
+    for (int s = 0; s < 20; ++s) gauge::heatbath_sweep(u, beta, rng);
+    plaq[k++] = average_plaquette(u);
+  }
+  EXPECT_GT(plaq[1], plaq[0] + 0.2) << "weak coupling must order the links";
+  EXPECT_GT(plaq[1], 0.7);
+  EXPECT_LT(plaq[0], 0.5);
+}
+
+TEST(GaugeUpdate, HeatbathAgreesWithMetropolis) {
+  // the heatbath and an independent Metropolis sampler must produce the
+  // same stationary distribution; compare thermalized average plaquettes
+  const Geometry g({4, 4, 4, 4});
+  const double beta = 5.5;
+
+  HostGaugeField u_hb(g), u_met(g);
+  make_unit_gauge(u_hb);
+  make_unit_gauge(u_met);
+  std::mt19937_64 rng_hb(30010), rng_met(30011);
+
+  for (int s = 0; s < 30; ++s) gauge::heatbath_sweep(u_hb, beta, rng_hb);
+  for (int s = 0; s < 60; ++s) gauge::metropolis_sweep(u_met, beta, 0.18, 4, rng_met);
+
+  double p_hb = 0, p_met = 0;
+  const int measures = 30;
+  for (int s = 0; s < measures; ++s) {
+    gauge::heatbath_sweep(u_hb, beta, rng_hb);
+    p_hb += average_plaquette(u_hb);
+    gauge::metropolis_sweep(u_met, beta, 0.18, 4, rng_met);
+    p_met += average_plaquette(u_met);
+  }
+  p_hb /= measures;
+  p_met /= measures;
+  EXPECT_NEAR(p_hb, p_met, 0.02)
+      << "heatbath " << p_hb << " vs metropolis " << p_met << " at beta " << beta;
+}
+
+TEST(GaugeUpdate, ColdAndHotStartsConverge) {
+  // ergodicity sanity: ordered and disordered starts thermalize to the same
+  // plaquette
+  const Geometry g({4, 4, 4, 4});
+  const double beta = 6.0;
+  HostGaugeField cold(g), hot(g);
+  make_unit_gauge(cold);
+  make_random_gauge(hot, 30012);
+  std::mt19937_64 r1(30013), r2(30014);
+
+  for (int s = 0; s < 40; ++s) {
+    gauge::update_sweeps(cold, beta, 1, 2, r1);
+    gauge::update_sweeps(hot, beta, 1, 2, r2);
+  }
+  double pc = 0, ph = 0;
+  for (int s = 0; s < 20; ++s) {
+    gauge::update_sweeps(cold, beta, 1, 2, r1);
+    gauge::update_sweeps(hot, beta, 1, 2, r2);
+    pc += average_plaquette(cold);
+    ph += average_plaquette(hot);
+  }
+  EXPECT_NEAR(pc / 20, ph / 20, 0.02);
+}
+
+} // namespace
+} // namespace quda

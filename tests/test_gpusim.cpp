@@ -1,0 +1,163 @@
+// Unit tests: the simulated device -- Table I specs, the PCI-E bus model
+// (Fig. 7 structure), stream/copy-engine timelines, the kernel model
+// (occupancy, partition camping), and memory capacity accounting.
+
+#include "gpusim/device.h"
+
+#include <gtest/gtest.h>
+
+namespace quda::gpusim {
+namespace {
+
+TEST(DeviceSpecs, TableOneValues) {
+  // spot checks against Table I of the paper
+  EXPECT_EQ(geforce_gtx285().cores, 240);
+  EXPECT_DOUBLE_EQ(geforce_gtx285().mem_bandwidth_gbs, 159.0);
+  EXPECT_DOUBLE_EQ(geforce_gtx285().gflops_sp, 1062.0);
+  EXPECT_DOUBLE_EQ(geforce_gtx285().gflops_dp, 88.0);
+  EXPECT_EQ(tesla_c1060().cores, 240);
+  EXPECT_DOUBLE_EQ(tesla_c1060().ram_gib, 4.0);
+  EXPECT_EQ(geforce_8800_gtx().gflops_dp, 0) << "pre-GT200 cards have no double precision";
+  EXPECT_TRUE(tesla_c2050().dual_copy_engine) << "Fermi allows bidirectional PCI-E transfers";
+  EXPECT_FALSE(geforce_gtx285().dual_copy_engine);
+  EXPECT_EQ(representative_cards().size(), 6u);
+}
+
+TEST(BusModel, AsyncLatencyExceedsSyncLatency) {
+  // the Section VII-D observation that drives Fig. 5(b)
+  const BusModel bus;
+  const double sync1k = bus.transfer_time_us(1024, CopyDir::DeviceToHost, false, true);
+  const double async1k = bus.transfer_time_us(1024, CopyDir::DeviceToHost, true, true);
+  EXPECT_GT(async1k, 3.0 * sync1k);
+  EXPECT_NEAR(sync1k, 11.0, 1.0);  // ~11 us (Fig. 7)
+  EXPECT_NEAR(async1k, 48.0, 3.0); // ~50 us (Fig. 7)
+}
+
+TEST(BusModel, DirectionalBandwidthAsymmetry) {
+  // the different gradients of the Fig. 7 curves
+  const BusModel bus;
+  const std::int64_t big = 1 << 20;
+  const double h2d = bus.transfer_time_us(big, CopyDir::HostToDevice, false, true);
+  const double d2h = bus.transfer_time_us(big, CopyDir::DeviceToHost, false, true);
+  EXPECT_LT(h2d, d2h) << "host-to-device should be the faster direction";
+}
+
+TEST(BusModel, BadNumaBindingIsSlower) {
+  const BusModel bus;
+  for (std::int64_t bytes : {1024ll, 65536ll, 1048576ll}) {
+    EXPECT_GT(bus.transfer_time_us(bytes, CopyDir::DeviceToHost, false, false),
+              bus.transfer_time_us(bytes, CopyDir::DeviceToHost, false, true));
+  }
+}
+
+TEST(KernelModel, OccupancyPeaksAt256) {
+  EXPECT_DOUBLE_EQ(occupancy_factor(256), 1.0);
+  EXPECT_LT(occupancy_factor(64), occupancy_factor(128));
+  EXPECT_LT(occupancy_factor(128), occupancy_factor(256));
+  EXPECT_LT(occupancy_factor(512), occupancy_factor(256));
+  EXPECT_LT(occupancy_factor(100), 0.5) << "non-multiple-of-64 blocks fragment warps";
+}
+
+TEST(KernelModel, PartitionCampingOnPowerOfTwoStride) {
+  // a stride equal to partitions*region lands every row on one bank
+  const DeviceSpec& dev = geforce_gtx285();
+  const std::int64_t bad = std::int64_t(dev.memory_partitions) * dev.partition_bytes; // 2048
+  const std::int64_t good = bad + dev.partition_bytes; // padded off the pathological value
+  EXPECT_LE(partition_camping_factor(bad, dev), 0.55);
+  EXPECT_DOUBLE_EQ(partition_camping_factor(good, dev), 1.0);
+  EXPECT_DOUBLE_EQ(partition_camping_factor(0, dev), 1.0) << "no stride info = no penalty";
+}
+
+TEST(KernelModel, BandwidthBoundKernelScalesWithBytes) {
+  const DeviceSpec& dev = geforce_gtx285();
+  KernelCost c;
+  c.bytes = 1e6;
+  c.flops = 1.0; // negligible
+  c.efficiency = 0.5;
+  const double t1 = kernel_duration_us(c, {256, 0}, dev, false);
+  c.bytes = 2e6;
+  const double t2 = kernel_duration_us(c, {256, 0}, dev, false);
+  EXPECT_NEAR(t2, 2.0 * t1, 1e-9);
+  // 1e6 bytes at 0.5 * 159 GB/s = ~12.6 us
+  EXPECT_NEAR(t1, 1e6 / (0.5 * 159e3), 1e-6);
+}
+
+TEST(KernelModel, ComputeBoundKernelUsesFlopRate) {
+  const DeviceSpec& dev = geforce_gtx285();
+  KernelCost c;
+  c.flops = 1e9; // dominated by arithmetic
+  c.bytes = 8;
+  const double t_sp = kernel_duration_us(c, {256, 0}, dev, false);
+  const double t_dp = kernel_duration_us(c, {256, 0}, dev, true);
+  EXPECT_GT(t_dp, 10.0 * t_sp) << "GTX 285 double peak is 88 vs 1062 Gflops";
+}
+
+TEST(Device, SyncCopyBlocksHost) {
+  Device dev(geforce_gtx285(), BusModel{});
+  const double t = dev.memcpy_sync(100.0, 1 << 20, CopyDir::DeviceToHost);
+  EXPECT_GT(t, 100.0 + 300.0); // 1 MiB at ~3.1 GB/s is ~340 us
+}
+
+TEST(Device, AsyncCopyReturnsImmediatelyButOccupiesEngine) {
+  Device dev(geforce_gtx285(), BusModel{});
+  const double t_host = dev.memcpy_async(100.0, 1, 1 << 20, CopyDir::DeviceToHost);
+  EXPECT_LT(t_host, 105.0) << "async issue should cost only the call overhead";
+  const double t_done = dev.stream_synchronize(t_host, 1);
+  EXPECT_GT(t_done, 100.0 + 300.0);
+}
+
+TEST(Device, SingleCopyEngineSerializesStreams) {
+  // GT200: transfers on different streams still share one engine
+  Device dev(geforce_gtx285(), BusModel{});
+  dev.memcpy_async(0.0, 1, 1 << 20, CopyDir::DeviceToHost);
+  dev.memcpy_async(0.0, 2, 1 << 20, CopyDir::DeviceToHost);
+  const double t1 = dev.stream_synchronize(0.0, 1);
+  const double t2 = dev.stream_synchronize(0.0, 2);
+  EXPECT_GT(t2, 1.9 * t1 - 100.0) << "second transfer must wait for the engine";
+}
+
+TEST(Device, DualCopyEngineOverlapsDirections) {
+  // Fermi (footnote 4): one engine per direction allows bidirectional overlap
+  Device fermi(tesla_c2050(), BusModel{});
+  fermi.memcpy_async(0.0, 1, 1 << 20, CopyDir::DeviceToHost);
+  fermi.memcpy_async(0.0, 2, 1 << 20, CopyDir::HostToDevice);
+  const double t1 = fermi.stream_synchronize(0.0, 1);
+  const double t2 = fermi.stream_synchronize(0.0, 2);
+  // both complete in roughly one transfer time, not two
+  EXPECT_LT(std::max(t1, t2), 500.0);
+}
+
+TEST(Device, KernelsSerializeWithinAStream) {
+  Device dev(geforce_gtx285(), BusModel{});
+  KernelCost c;
+  c.bytes = 1e6;
+  c.efficiency = 1.0;
+  dev.launch_kernel(0.0, 0, c, {256, 0});
+  dev.launch_kernel(0.0, 0, c, {256, 0});
+  const double t = dev.stream_synchronize(0.0, 0);
+  const double single = kernel_duration_us(c, {256, 0}, dev.spec(), false);
+  EXPECT_GT(t, 2.0 * single);
+}
+
+TEST(Device, StreamWaitStreamCreatesDependency) {
+  Device dev(geforce_gtx285(), BusModel{});
+  dev.memcpy_async(0.0, 1, 1 << 20, CopyDir::HostToDevice);
+  const double before = dev.stream_ready(0);
+  dev.stream_wait_stream(0, 1);
+  EXPECT_GT(dev.stream_ready(0), before);
+  EXPECT_DOUBLE_EQ(dev.stream_ready(0), dev.stream_ready(1));
+}
+
+TEST(Device, MemoryCapacityGate) {
+  Device dev(geforce_gtx285(), BusModel{});
+  const std::int64_t cap = dev.bytes_capacity();
+  EXPECT_LT(cap, 2ll << 30) << "driver reservation must reduce usable memory";
+  dev.malloc_bytes(cap - 100);
+  EXPECT_THROW(dev.malloc_bytes(200), std::bad_alloc);
+  dev.free_bytes(cap - 100);
+  EXPECT_EQ(dev.bytes_used(), 0);
+  EXPECT_EQ(dev.bytes_peak(), cap - 100);
+}
+
+} // namespace
+} // namespace quda::gpusim

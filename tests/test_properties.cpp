@@ -1,0 +1,343 @@
+// Property-based tests on cross-cutting invariants:
+//
+//  * gauge covariance of the Wilson-clover operator (the deepest physics
+//    check: a random local SU(3) rotation of links and fields commutes with
+//    the operator);
+//  * gamma_5 Hermiticity of the full operator;
+//  * Modeled and Real execution charge *identical* simulated time (the
+//    benchmark harness times exactly the code path the tests validate);
+//  * BLAS kernels against naive recompositions, in all precisions;
+//  * the auto-tuner's sweep semantics.
+
+#include "blas/autotune.h"
+#include "blas/blas.h"
+#include "comm/qmp.h"
+#include "dirac/clover_term.h"
+#include "dirac/gauge_init.h"
+#include "dirac/transfer.h"
+#include "dirac/wilson_ref.h"
+#include "parallel/halo_dslash.h"
+#include "sim/event_sim.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace quda {
+namespace {
+
+// --- gauge covariance ---------------------------------------------------------
+
+SU3<double> random_su3(std::mt19937_64& rng) {
+  std::normal_distribution<double> d(0.0, 1.0);
+  SU3<double> m;
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 3; ++c) m.e[r][c] = complexd(d(rng), d(rng));
+  return reunitarize(m);
+}
+
+TEST(GaugeCovariance, WilsonCloverOperatorTransformsCovariantly) {
+  // M[U^g] (g psi) == g (M[U] psi) for a random gauge transformation g(x)
+  const Geometry g({4, 4, 4, 6});
+  HostGaugeField u(g), ug(g);
+  HostSpinorField psi(g), psig(g);
+  make_random_gauge(u, 20001);
+  make_random_spinor(psi, 20002);
+
+  std::mt19937_64 rng(20003);
+  std::vector<SU3<double>> rot(static_cast<std::size_t>(g.volume()));
+  for (auto& m : rot) m = random_su3(rng);
+
+  for (std::int64_t i = 0; i < g.volume(); ++i) {
+    const Coords x = g.coords(i);
+    for (int mu = 0; mu < 4; ++mu) {
+      const std::int64_t xf = g.linear_index(g.neighbor(x, mu, +1));
+      // U'_mu(x) = g(x) U_mu(x) g(x+mu)^dag
+      ug.link(mu, i) = rot[static_cast<std::size_t>(i)] * u.link(mu, i) *
+                       adjoint(rot[static_cast<std::size_t>(xf)]);
+    }
+    psig[i] = rot[static_cast<std::size_t>(i)] * psi[i];
+  }
+
+  WilsonParams wp;
+  wp.mass = 0.1;
+  wp.time_bc = TimeBoundary::Antiperiodic;
+
+  const DenseCloverField clover = make_dense_clover_term(u, 1.3);
+  const DenseCloverField clover_g = make_dense_clover_term(ug, 1.3);
+
+  HostSpinorField m_psi(g), m_psig(g);
+  apply_wilson_clover_ref(u, clover, psi, m_psi, wp);
+  apply_wilson_clover_ref(ug, clover_g, psig, m_psig, wp);
+
+  double num = 0, den = 0;
+  for (std::int64_t i = 0; i < g.volume(); ++i) {
+    const Spinor<double> rotated = rot[static_cast<std::size_t>(i)] * m_psi[i];
+    num += norm2(m_psig[i] - rotated);
+    den += norm2(rotated);
+  }
+  EXPECT_LT(num / den, 1e-22) << "operator is not gauge covariant";
+}
+
+TEST(GaugeCovariance, PlaquetteIsGaugeInvariant) {
+  const Geometry g({4, 4, 4, 4});
+  HostGaugeField u(g), ug(g);
+  make_random_gauge(u, 20010);
+  std::mt19937_64 rng(20011);
+  std::vector<SU3<double>> rot(static_cast<std::size_t>(g.volume()));
+  for (auto& m : rot) m = random_su3(rng);
+  for (std::int64_t i = 0; i < g.volume(); ++i) {
+    const Coords x = g.coords(i);
+    for (int mu = 0; mu < 4; ++mu) {
+      const std::int64_t xf = g.linear_index(g.neighbor(x, mu, +1));
+      ug.link(mu, i) = rot[static_cast<std::size_t>(i)] * u.link(mu, i) *
+                       adjoint(rot[static_cast<std::size_t>(xf)]);
+    }
+  }
+  EXPECT_NEAR(average_plaquette(u), average_plaquette(ug), 1e-12);
+}
+
+TEST(Gamma5Hermiticity, FullOperatorSatisfiesG5MG5EqualsMdag) {
+  // <phi, g5 M g5 psi> == conj(<psi, g5 M g5 phi>) -- i.e. g5 M g5 is the
+  // adjoint of M (the property CGNR's dagger application relies on)
+  const Geometry g({4, 4, 4, 4});
+  HostGaugeField u(g);
+  make_random_gauge(u, 20020);
+  HostSpinorField psi(g), phi(g);
+  make_random_spinor(psi, 20021);
+  make_random_spinor(phi, 20022);
+
+  WilsonParams wp;
+  wp.mass = 0.2;
+  const DenseCloverField clover = make_dense_clover_term(u, 1.0);
+
+  const SpinMatrix& g5 = gamma5(GammaBasis::NonRelativistic);
+  auto g5_rotate = [&](const HostSpinorField& f) {
+    HostSpinorField out(g);
+    for (std::int64_t i = 0; i < g.volume(); ++i) out[i] = apply_spin(g5, f[i]);
+    return out;
+  };
+  auto inner = [&](const HostSpinorField& a, const HostSpinorField& b) {
+    complexd s{};
+    for (std::int64_t i = 0; i < g.volume(); ++i) s += dot(a[i], b[i]);
+    return s;
+  };
+
+  HostSpinorField m_psi(g), m_phi(g);
+  apply_wilson_clover_ref(u, clover, psi, m_psi, wp);
+  apply_wilson_clover_ref(u, clover, phi, m_phi, wp);
+
+  // <phi, g5 M g5 psi> where the outer g5 pairs with phi
+  const complexd lhs = inner(g5_rotate(phi), m_psi) * complexd(1.0, 0.0);
+  const complexd rhs = conj(inner(g5_rotate(psi), m_phi));
+  // g5 M g5 = M^dag  <=>  <g5 phi, M psi> == conj(<g5 psi, M phi>)
+  EXPECT_NEAR(lhs.re, rhs.re, 1e-8);
+  EXPECT_NEAR(lhs.im, rhs.im, 1e-8);
+}
+
+// --- Modeled == Real timing ----------------------------------------------------
+
+TEST(ExecutionModes, ModeledAndRealChargeIdenticalTime) {
+  const Geometry lg({4, 4, 4, 4});
+  const int ranks = 4;
+
+  auto run_mode = [&](Execution exec) {
+    sim::VirtualCluster cluster(sim::ClusterSpec::jlab_9g(ranks));
+    std::vector<double> clocks(static_cast<std::size_t>(ranks));
+    cluster.run([&](sim::RankContext& ctx) {
+      comm::QmpGrid grid(ctx);
+      parallel::HaloDslashConfig cfg;
+      cfg.policy = CommPolicy::Overlap;
+      cfg.exec = exec;
+
+      HostGaugeField hu(lg);
+      make_weak_field_gauge(hu, 0.1, 99);
+      HostSpinorField hin(lg);
+      make_random_spinor(hin, 100);
+      GaugeField<PrecSingle> u = upload_gauge<PrecSingle>(hu, Reconstruct::Twelve);
+      parallel::exchange_gauge_ghost<PrecSingle>(
+          grid, lg, exec == Execution::Real ? &u : nullptr, exec);
+      SpinorField<PrecSingle> in = upload_spinor<PrecSingle>(hin, Parity::Odd);
+      SpinorField<PrecSingle> out(lg);
+
+      for (int rep = 0; rep < 6; ++rep) {
+        cfg.out_parity = rep % 2 == 0 ? Parity::Even : Parity::Odd;
+        if (exec == Execution::Real)
+          parallel::halo_dslash<PrecSingle>(grid, lg, cfg, {&out, &u, &in});
+        else
+          parallel::halo_dslash<PrecSingle>(grid, lg, cfg, {});
+      }
+      clocks[static_cast<std::size_t>(ctx.rank())] = ctx.clock().now_us;
+    });
+    return clocks;
+  };
+
+  const auto real = run_mode(Execution::Real);
+  const auto modeled = run_mode(Execution::Modeled);
+  for (int r = 0; r < ranks; ++r)
+    EXPECT_DOUBLE_EQ(real[static_cast<std::size_t>(r)], modeled[static_cast<std::size_t>(r)])
+        << "rank " << r << ": the benches time a different path than the tests validate";
+}
+
+// --- BLAS kernels vs naive recomposition ---------------------------------------
+
+template <typename P> class BlasTyped : public ::testing::Test {};
+using AllPrecs = ::testing::Types<PrecDouble, PrecSingle, PrecHalf>;
+TYPED_TEST_SUITE(BlasTyped, AllPrecs);
+
+template <typename P>
+SpinorField<P> random_field(const Geometry& g, std::uint64_t seed) {
+  HostSpinorField h(g);
+  make_random_spinor(h, seed);
+  return upload_spinor<P>(h, Parity::Even);
+}
+
+template <typename P> double tolerance() {
+  return P::value == Precision::Double ? 1e-20 : P::value == Precision::Single ? 1e-9 : 2e-3;
+}
+
+TYPED_TEST(BlasTyped, AxpyNormIsAxpyThenNorm) {
+  using P = TypeParam;
+  const Geometry g({4, 4, 4, 4});
+  const SpinorField<P> x = random_field<P>(g, 1);
+  SpinorField<P> y1 = random_field<P>(g, 2);
+  SpinorField<P> y2 = SpinorField<P>::like(y1);
+  blas::copy(y2, y1);
+
+  const double fused = blas::axpy_norm(0.37, x, y1);
+  blas::axpy(0.37, x, y2);
+  const double composed = blas::norm2(y2);
+  EXPECT_NEAR(fused, composed, tolerance<P>() * composed * 100 + 1e-12);
+}
+
+TYPED_TEST(BlasTyped, XmyNormMatchesManual) {
+  using P = TypeParam;
+  const Geometry g({4, 4, 4, 4});
+  const SpinorField<P> x = random_field<P>(g, 3);
+  SpinorField<P> y = random_field<P>(g, 4);
+  SpinorField<P> expect = SpinorField<P>::like(y);
+  // expect = x - y
+  blas::copy(expect, x);
+  blas::axpy(-1.0, y, expect);
+  const double n = blas::xmy_norm(x, y);
+  EXPECT_NEAR(n, blas::norm2(expect), tolerance<P>() * n * 100 + 1e-12);
+  // y now holds x - y
+  double diff = 0;
+  for (std::int64_t i = 0; i < y.sites(); ++i)
+    diff += static_cast<double>(quda::norm2(y.load(i) - expect.load(i)));
+  EXPECT_NEAR(diff, 0.0, tolerance<P>() * n * 10 + 1e-12);
+}
+
+TYPED_TEST(BlasTyped, BicgstabPUpdateMatchesComposition) {
+  using P = TypeParam;
+  const Geometry g({4, 4, 4, 4});
+  const SpinorField<P> r = random_field<P>(g, 5);
+  const SpinorField<P> v = random_field<P>(g, 6);
+  SpinorField<P> p = random_field<P>(g, 7);
+  SpinorField<P> expect = SpinorField<P>::like(p);
+  blas::copy(expect, p);
+
+  const complexd beta{0.3, -0.4}, omega{1.1, 0.2};
+  // expect = r + beta*(p - omega v)
+  blas::caxpy(-omega, v, expect);      // p - omega v
+  // scale by beta then add r: use caxpby-by-hand
+  for (std::int64_t i = 0; i < expect.sites(); ++i) {
+    auto e = expect.load(i);
+    using real_t = typename P::real_t;
+    e *= Complex<real_t>(static_cast<real_t>(beta.re), static_cast<real_t>(beta.im));
+    e += r.load(i);
+    expect.store(i, e);
+  }
+  blas::bicgstab_p_update(p, r, v, beta, omega);
+  double diff = 0, den = 0;
+  for (std::int64_t i = 0; i < p.sites(); ++i) {
+    diff += static_cast<double>(quda::norm2(p.load(i) - expect.load(i)));
+    den += static_cast<double>(quda::norm2(expect.load(i)));
+  }
+  EXPECT_LT(diff / den, tolerance<P>() * 100);
+}
+
+TYPED_TEST(BlasTyped, RUpdateReductionsMatchSeparateKernels) {
+  using P = TypeParam;
+  const Geometry g({4, 4, 4, 4});
+  const SpinorField<P> s = random_field<P>(g, 8);
+  const SpinorField<P> t = random_field<P>(g, 9);
+  const SpinorField<P> r0 = random_field<P>(g, 10);
+  SpinorField<P> r = SpinorField<P>::like(s);
+
+  const complexd omega{0.8, -0.1};
+  double r2 = 0;
+  complexd rho;
+  blas::bicgstab_r_update(r, s, t, omega, r2, rho, r0);
+
+  EXPECT_NEAR(r2, blas::norm2(r), tolerance<P>() * r2 * 100 + 1e-12);
+  const complexd rho_ref = blas::cdot(r0, r);
+  EXPECT_NEAR(rho.re, rho_ref.re, tolerance<P>() * std::abs(rho_ref.re) * 100 + 1e-9);
+  EXPECT_NEAR(rho.im, rho_ref.im, tolerance<P>() * std::abs(rho_ref.re) * 100 + 1e-9);
+}
+
+TYPED_TEST(BlasTyped, Gamma5IsInvolution) {
+  using P = TypeParam;
+  const Geometry g({4, 4, 4, 4});
+  const SpinorField<P> x = random_field<P>(g, 11);
+  SpinorField<P> y = SpinorField<P>::like(x);
+  apply_gamma5<P>(y, x);
+  apply_gamma5<P>(y, y);
+  double diff = 0, den = 0;
+  for (std::int64_t i = 0; i < x.sites(); ++i) {
+    diff += static_cast<double>(quda::norm2(y.load(i) - x.load(i)));
+    den += static_cast<double>(quda::norm2(x.load(i)));
+  }
+  EXPECT_LT(diff / den, tolerance<P>() * 100);
+}
+
+// --- auto-tuner -----------------------------------------------------------------
+
+TEST(AutoTuner, PrefersPeakOccupancyForStreamingKernels) {
+  blas::AutoTuner tuner(gpusim::geforce_gtx285());
+  gpusim::KernelCost cost;
+  cost.bytes = 1e7;
+  cost.efficiency = 0.85;
+  const auto& best = tuner.tune("stream", cost);
+  EXPECT_EQ(best.launch.block_size, 256) << "256 threads has the peak occupancy factor";
+  EXPECT_GT(best.time_us, 0.0);
+}
+
+TEST(AutoTuner, CachesByKey) {
+  blas::AutoTuner tuner(gpusim::geforce_gtx285());
+  gpusim::KernelCost a;
+  a.bytes = 1e6;
+  a.efficiency = 1.0;
+  const auto* first = &tuner.tune("k1", a);
+  const auto* again = &tuner.tune("k1", a);
+  EXPECT_EQ(first, again);
+  EXPECT_EQ(tuner.cache_size(), 1u);
+  tuner.tune("k2", a);
+  EXPECT_EQ(tuner.cache_size(), 2u);
+}
+
+TEST(AutoTuner, ExportsHeaderWithAllKeys) {
+  blas::AutoTuner tuner(gpusim::geforce_gtx285());
+  gpusim::KernelCost a;
+  a.bytes = 1e6;
+  a.efficiency = 1.0;
+  tuner.tune("axpy_single", a);
+  tuner.tune("caxpy_half", a);
+  const std::string header = tuner.export_header();
+  EXPECT_NE(header.find("BLOCKDIM_AXPY_SINGLE"), std::string::npos);
+  EXPECT_NE(header.find("BLOCKDIM_CAXPY_HALF"), std::string::npos);
+}
+
+TEST(AutoTuner, TunedNeverWorseThanAnySweptConfig) {
+  blas::AutoTuner tuner(gpusim::geforce_gtx285());
+  gpusim::KernelCost cost;
+  cost.bytes = 5e6;
+  cost.flops = 2e6;
+  cost.efficiency = 0.6;
+  const auto& best = tuner.tune("sweep", cost);
+  for (int block = 64; block <= 512; block += 64)
+    EXPECT_LE(best.time_us, tuner.duration_at(cost, block) + 1e-12);
+}
+
+} // namespace
+} // namespace quda

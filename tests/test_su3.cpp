@@ -1,0 +1,127 @@
+// Unit tests: complex arithmetic, SU(3) algebra, 2-row compression, and
+// re-unitarization.
+
+#include "su3/su3.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace quda {
+namespace {
+
+SU3<double> random_su3(std::mt19937_64& rng) {
+  std::normal_distribution<double> d(0.0, 1.0);
+  SU3<double> m;
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 3; ++c) m.e[r][c] = complexd(d(rng), d(rng));
+  return reunitarize(m);
+}
+
+TEST(Complex, Arithmetic) {
+  const complexd a{1.0, 2.0}, b{-3.0, 0.5};
+  EXPECT_EQ((a + b).re, -2.0);
+  EXPECT_EQ((a + b).im, 2.5);
+  const complexd p = a * b;
+  EXPECT_DOUBLE_EQ(p.re, 1.0 * -3.0 - 2.0 * 0.5);
+  EXPECT_DOUBLE_EQ(p.im, 1.0 * 0.5 + 2.0 * -3.0);
+  const complexd q = (a * b) / b;
+  EXPECT_NEAR(q.re, a.re, 1e-14);
+  EXPECT_NEAR(q.im, a.im, 1e-14);
+  EXPECT_DOUBLE_EQ(norm2(a), 5.0);
+  EXPECT_EQ(conj(a).im, -2.0);
+  EXPECT_EQ(times_i(a).re, -2.0);
+  EXPECT_EQ(times_i(a).im, 1.0);
+  EXPECT_EQ(times_minus_i(times_i(a)), a);
+}
+
+TEST(Complex, FusedOps) {
+  const complexd a{0.3, -0.7}, b{1.1, 0.2};
+  complexd acc{2.0, 3.0};
+  cmad(acc, a, b);
+  const complexd expect = complexd{2.0, 3.0} + a * b;
+  EXPECT_NEAR(acc.re, expect.re, 1e-15);
+  EXPECT_NEAR(acc.im, expect.im, 1e-15);
+
+  complexd acc2{};
+  conj_cmad(acc2, a, b);
+  const complexd expect2 = conj(a) * b;
+  EXPECT_NEAR(acc2.re, expect2.re, 1e-15);
+  EXPECT_NEAR(acc2.im, expect2.im, 1e-15);
+  EXPECT_NEAR(conj_mul(a, b).re, expect2.re, 1e-15);
+}
+
+TEST(SU3, ReunitarizeProducesSpecialUnitary) {
+  std::mt19937_64 rng(7);
+  for (int i = 0; i < 50; ++i) {
+    const SU3<double> u = random_su3(rng);
+    // U U^dag = 1
+    const SU3<double> id = u * adjoint(u);
+    EXPECT_LT(frobenius_dist2(id, SU3<double>::identity()), 1e-24);
+    // det U = 1
+    const complexd d = det(u);
+    EXPECT_NEAR(d.re, 1.0, 1e-12);
+    EXPECT_NEAR(d.im, 0.0, 1e-12);
+  }
+}
+
+TEST(SU3, CompressionRoundTrip) {
+  std::mt19937_64 rng(13);
+  for (int i = 0; i < 50; ++i) {
+    const SU3<double> u = random_su3(rng);
+    const SU3<double> v = decompress(compress(u));
+    EXPECT_LT(frobenius_dist2(u, v), 1e-24) << "third-row reconstruction failed";
+  }
+}
+
+TEST(SU3, AdjMulMatchesExplicitAdjoint) {
+  std::mt19937_64 rng(21);
+  std::normal_distribution<double> d(0.0, 1.0);
+  const SU3<double> u = random_su3(rng);
+  ColorVector<double> v;
+  for (std::size_t c = 0; c < 3; ++c) v.c[c] = complexd(d(rng), d(rng));
+  const ColorVector<double> a = adj_mul(u, v);
+  const ColorVector<double> b = adjoint(u) * v;
+  for (std::size_t c = 0; c < 3; ++c) {
+    EXPECT_NEAR(a.c[c].re, b.c[c].re, 1e-13);
+    EXPECT_NEAR(a.c[c].im, b.c[c].im, 1e-13);
+  }
+}
+
+TEST(SU3, MatVecLinearity) {
+  std::mt19937_64 rng(5);
+  std::normal_distribution<double> d(0.0, 1.0);
+  const SU3<double> u = random_su3(rng);
+  ColorVector<double> v, w;
+  for (std::size_t c = 0; c < 3; ++c) {
+    v.c[c] = complexd(d(rng), d(rng));
+    w.c[c] = complexd(d(rng), d(rng));
+  }
+  const ColorVector<double> lhs = u * (v + w);
+  ColorVector<double> rhs = u * v;
+  rhs += u * w;
+  for (std::size_t c = 0; c < 3; ++c) EXPECT_NEAR(norm2(lhs.c[c] - rhs.c[c]), 0.0, 1e-24);
+}
+
+TEST(SU3, UnitaryPreservesNorm) {
+  std::mt19937_64 rng(99);
+  std::normal_distribution<double> d(0.0, 1.0);
+  const SU3<double> u = random_su3(rng);
+  ColorVector<double> v;
+  for (std::size_t c = 0; c < 3; ++c) v.c[c] = complexd(d(rng), d(rng));
+  EXPECT_NEAR(norm2(u * v), norm2(v), 1e-12 * norm2(v));
+}
+
+TEST(SU3, WeakFieldIsNearIdentity) {
+  std::mt19937_64 rng(3);
+  std::normal_distribution<double> d(0.0, 0.05);
+  SU3<double> m = SU3<double>::identity();
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 3; ++c) m.e[r][c] += complexd(d(rng), d(rng));
+  const SU3<double> u = reunitarize(m);
+  EXPECT_LT(frobenius_dist2(u, SU3<double>::identity()), 0.3);
+  EXPECT_NEAR(det(u).re, 1.0, 1e-12);
+}
+
+} // namespace
+} // namespace quda
