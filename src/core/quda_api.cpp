@@ -83,14 +83,22 @@ void charge_solver_vectors(comm::QmpGrid& grid, const Geometry& lg, int count) {
   grid.context().device().malloc_bytes(count * probe.device_bytes());
 }
 
-template <typename POuter>
-SolverStats dispatch_uniform(ParallelWilsonCloverOp<POuter>& op, SpinorField<POuter>& x,
-                             const SpinorField<POuter>& b, const InvertParams& p) {
+SolverParams solver_params(const InvertParams& p) {
   SolverParams sp;
   sp.tol = p.tol;
   sp.delta = p.delta;
   sp.max_iter = p.max_iter;
   sp.verbose = p.verbose;
+  sp.sdc_threshold = p.sdc_threshold;
+  sp.max_rollbacks = p.max_rollbacks;
+  sp.max_breakdown_restarts = p.max_breakdown_restarts;
+  return sp;
+}
+
+template <typename POuter>
+SolverStats dispatch_uniform(ParallelWilsonCloverOp<POuter>& op, SpinorField<POuter>& x,
+                             const SpinorField<POuter>& b, const InvertParams& p) {
+  const SolverParams sp = solver_params(p);
   if (p.solver == SolverType::CG) return solve_cgnr(op, x, b, sp);
   return solve_bicgstab(op, x, b, sp);
 }
@@ -99,16 +107,21 @@ template <typename POuter, typename PSloppy>
 SolverStats dispatch_mixed(ParallelWilsonCloverOp<POuter>& op_hi,
                            ParallelWilsonCloverOp<PSloppy>& op_lo, SpinorField<POuter>& x,
                            const SpinorField<POuter>& b, const InvertParams& p) {
-  SolverParams sp;
-  sp.tol = p.tol;
-  sp.delta = p.delta;
-  sp.max_iter = p.max_iter;
-  sp.verbose = p.verbose;
+  const SolverParams sp = solver_params(p);
   if (p.solver == SolverType::CG)
     throw std::invalid_argument("mixed-precision CG is not provided; use BiCGstab");
   if (p.mixed_strategy == MixedStrategy::DefectCorrection)
     return solve_defect_correction(op_hi, op_lo, x, b, sp);
-  return solve_bicgstab_reliable(op_hi, op_lo, x, b, sp);
+  SolverStats st = solve_bicgstab_reliable(op_hi, op_lo, x, b, sp);
+  if (st.escalated && !st.converged && st.iterations < sp.max_iter) {
+    // rollback budget exhausted in the sloppy space: finish the solve in
+    // full outer precision from the current iterate before giving up
+    SolverParams esc = sp;
+    esc.max_iter = sp.max_iter - st.iterations;
+    st.merge(solve_bicgstab(op_hi, x, b, esc));
+    st.escalated = true;
+  }
+  return st;
 }
 
 // per-rank solve at outer precision POuter (and optional sloppy PSloppy)
@@ -118,6 +131,7 @@ RankOutcome rank_solve(RankContext& ctx, const GridTopology& topo, const Geometr
                        const HostCloverField& ltinv, const HostSpinorField& lb,
                        const InvertParams& p, bool mixed) {
   comm::QmpGrid grid(ctx, topo);
+  grid.set_retry_policy(p.retry);
   RankOutcome out;
 
   OperatorParams op_params;
@@ -248,6 +262,24 @@ InvertResult invert_multi_gpu(const sim::ClusterSpec& cluster_spec, const HostGa
   result.simulated_time_us = outcomes[0].solve_done_us - outcomes[0].setup_done_us;
   result.effective_gflops =
       result.simulated_time_us > 0 ? total_flops / (result.simulated_time_us * 1e3) : 0.0;
+
+  // fault/recovery report: comm-layer counters summed over ranks, solver
+  // recovery from rank 0 (reductions keep every rank's solver in lockstep)
+  const sim::FaultCounters& fc = cluster.fault_totals();
+  FaultReport& fr = result.faults;
+  fr.drops = fc.drops;
+  fr.delays = fc.delays;
+  fr.corruptions = fc.corruptions;
+  fr.device_flips = fc.device_flips;
+  fr.stalls = fc.stalls;
+  fr.checksum_errors = fc.checksum_errors;
+  fr.retries = fc.retries;
+  fr.sdc_detected = result.stats.sdc_detected;
+  fr.rollbacks = result.stats.rollbacks;
+  fr.breakdown_restarts = result.stats.breakdown_restarts;
+  fr.escalated = result.stats.escalated;
+  fr.recovered = fc.recovered_messages + result.stats.rollbacks;
+  fr.recovery_time_us = fc.recovery_us;
   return result;
 }
 
@@ -277,6 +309,7 @@ void apply_matrix_multi_gpu(const sim::ClusterSpec& cluster_spec, const HostGaug
 
   cluster.run([&](RankContext& ctx) {
     comm::QmpGrid grid(ctx, topo);
+    grid.set_retry_policy(params.retry);
     const int rank = ctx.rank();
     const Geometry local = local_geometry(g, topo);
     const HostGaugeField lu = slice_gauge(gauge, topo, rank);

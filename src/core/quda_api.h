@@ -62,6 +62,39 @@ struct InvertParams {
   // multi-dimensional decomposition (the paper's future work) and must
   // multiply to the cluster's rank count.
   std::array<int, 4> grid{1, 1, 1, 1};
+
+  // fault tolerance: message framing/retry policy of the comm layer, and
+  // the solver's SDC rollback policy (sdc_threshold 0 = detection off).
+  // Faults themselves are injected via ClusterSpec::faults.
+  sim::RetryPolicy retry{};
+  double sdc_threshold = 0;
+  int max_rollbacks = 10;
+  int max_breakdown_restarts = 3;
+};
+
+// fault/recovery outcome of one solve: what was injected, what the
+// detection layers caught, and what the recovery machinery did about it
+struct FaultReport {
+  // injected (summed over ranks)
+  long drops = 0;
+  long delays = 0;
+  long corruptions = 0;
+  long device_flips = 0;
+  long stalls = 0;
+  // detected
+  long checksum_errors = 0; // corrupt frames caught by receivers
+  int sdc_detected = 0;     // corrupted iterates caught at reliable updates
+  // recovered
+  long retries = 0;            // resend attempts by the reliable senders
+  long recovered = 0;          // redelivered messages + completed rollbacks
+  int rollbacks = 0;           // solver rollbacks to a reliable iterate
+  int breakdown_restarts = 0;  // Krylov restarts after scalar breakdown
+  bool escalated = false;      // solve finished in full outer precision
+  double recovery_time_us = 0; // sim time spent on timeouts, backoff, stalls
+
+  bool clean() const {
+    return drops == 0 && delays == 0 && corruptions == 0 && device_flips == 0 && stalls == 0;
+  }
 };
 
 struct InvertResult {
@@ -69,6 +102,7 @@ struct InvertResult {
   double simulated_time_us = 0;    // cluster makespan of the solve
   double effective_gflops = 0;     // aggregate sustained effective Gflops
   std::int64_t device_bytes_peak = 0; // max device memory used by any rank
+  FaultReport faults;              // fault injection / recovery accounting
 };
 
 // Solve M x = b on `ranks` simulated GPUs (time-direction decomposition).

@@ -260,12 +260,13 @@ void exchange_gauge_ghost(comm::QmpGrid& grid, const Geometry& local, GaugeField
       payload.resize(out_buf.data.size() * sizeof(typename P::store_t));
       std::memcpy(payload.data(), out_buf.data.data(), payload.size());
     }
-    ctx.isend(grid.neighbor(mu, +1), gauge_tag(mu), std::move(payload), bytes);
+    // route through the grid so the gauge exchange gets the same framing,
+    // checksum verification, and bounded retry as the spinor halos
+    grid.send_to(mu, +1, gauge_tag(mu), std::move(payload), bytes);
 
-    sim::RecvHandle h = ctx.wait(pending);
+    const std::vector<std::byte> in_payload = grid.wait_receive(pending);
     clk = dev.memcpy_sync(clk, bytes, gpusim::CopyDir::HostToDevice);
     if (real) {
-      const std::vector<std::byte> in_payload = h.take_payload();
       GaugeFaceBuffer<P> in_buf;
       in_buf.resize(fs);
       if (in_payload.size() != in_buf.data.size() * sizeof(typename P::store_t))

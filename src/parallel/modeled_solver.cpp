@@ -72,13 +72,30 @@ ModeledSolverResult run_modeled_solver(sim::VirtualCluster& cluster,
   // every rank runs the same schedule; one rank accumulates the flop count
   // (all ranks are identical, so aggregate = per-rank x N)
   std::vector<double> eff_flops(static_cast<std::size_t>(cluster.spec().num_ranks()), 0.0);
+  int rollbacks_rank0 = 0;
+  int iterations_rank0 = config.iterations;
 
   cluster.run([&](sim::RankContext& ctx) {
     const bool custom_topology = config.topology.num_ranks() == ctx.size() &&
                                  config.topology.num_ranks() > 1;
     comm::QmpGrid grid = custom_topology ? comm::QmpGrid(ctx, config.topology)
                                          : comm::QmpGrid(ctx);
+    grid.set_retry_policy(config.retry);
     double& flops = eff_flops[static_cast<std::size_t>(ctx.rank())];
+
+    // modeled SDC: one device-fault draw per matrix application, exactly as
+    // in Real execution; a flip voids the segment since the last reliable
+    // update, and the detection point decides globally (mirroring the true
+    // residual's allreduce) whether to re-run it
+    bool segment_corrupt = false;
+    int rollbacks = 0;
+    auto draw_flip = [&] {
+      if (!ctx.faults().enabled()) return;
+      if (ctx.faults().next_device_fault()) {
+        ++ctx.faults().counters().device_flips;
+        segment_corrupt = true;
+      }
+    };
 
     // setup: gauge ghost exchange (program initialization, Section VI-B)
     switch (sloppy) {
@@ -99,12 +116,16 @@ ModeledSolverResult run_modeled_solver(sim::VirtualCluster& cluster,
     modeled_blas(ctx, config.outer, vh, 2, 1, flops);
     modeled_reduction(ctx);
 
+    int executed = 0;
     for (int k = 1; k <= config.iterations; ++k) {
       // BiCGstab iteration at sloppy precision: 2 matrix applies, the fused
       // BLAS schedule of solve_bicgstab, and 3 fused reductions
       modeled_matrix(grid, local, sloppy, config.policy, config.time_bc);
+      draw_flip();
       modeled_matrix(grid, local, sloppy, config.policy, config.time_bc);
+      draw_flip();
       flops += 2 * perf::effective_matrix_flops(vh);
+      ++executed;
 
       modeled_blas(ctx, sloppy, vh, 2, 0, flops); // <r0, v>
       modeled_reduction(ctx);
@@ -124,12 +145,40 @@ ModeledSolverResult run_modeled_solver(sim::VirtualCluster& cluster,
         flops += perf::effective_matrix_flops(vh);
         modeled_blas(ctx, config.outer, vh, 2, 1, flops); // r = b - Ay + norm
         modeled_reduction(ctx);
+
+        // SDC detection rides the true residual's allreduce: any rank's
+        // corrupted segment shows up in the global residual, so the rollback
+        // decision is global and every rank stays in lockstep
+        double corrupt_flag = segment_corrupt ? 1.0 : 0.0;
+        corrupt_flag = ctx.allreduce_sum(corrupt_flag);
+        segment_corrupt = false;
+        if (corrupt_flag > 0 && rollbacks < config.max_rollbacks) {
+          ++rollbacks;
+          // rollback: restore the saved iterate, recompute the residual,
+          // rebuild the sloppy Krylov space, then re-run the voided segment
+          modeled_blas(ctx, config.outer, vh, 1, 1, flops); // x = x_saved
+          modeled_matrix(grid, local, config.outer, config.policy, config.time_bc);
+          flops += perf::effective_matrix_flops(vh);
+          modeled_blas(ctx, config.outer, vh, 2, 1, flops); // r = b - Ax + norm
+          modeled_reduction(ctx);
+          modeled_blas(ctx, sloppy, vh, 4, 3, flops); // rebuild r0, p, rho
+          modeled_reduction(ctx);
+          k -= config.reliable_interval; // the segment is re-run
+          continue;
+        }
         modeled_blas(ctx, sloppy, vh, 1, 1, flops); // r_lo = convert(r)
       }
     }
     ctx.barrier();
+    if (ctx.rank() == 0) {
+      rollbacks_rank0 = rollbacks;
+      iterations_rank0 = executed;
+    }
   });
 
+  result.iterations = iterations_rank0;
+  result.rollbacks = rollbacks_rank0;
+  result.faults = cluster.fault_totals();
   result.time_us = cluster.makespan_us();
   double total_flops = 0;
   for (double f : eff_flops) total_flops += f;

@@ -30,6 +30,11 @@ struct ModeledSolverConfig {
   int iterations = 200;                      // Krylov iterations to simulate
   int reliable_interval = 40;                // iterations per reliable update (mixed)
   TimeBoundary time_bc = TimeBoundary::Antiperiodic;
+  // fault tolerance: comm framing/retry policy, and the rollback budget for
+  // modeled SDC recovery (a device flip voids the segment since the last
+  // reliable update; the segment is re-run)
+  sim::RetryPolicy retry{};
+  int max_rollbacks = 10;
 };
 
 struct ModeledSolverResult {
@@ -37,7 +42,9 @@ struct ModeledSolverResult {
   std::int64_t footprint_bytes = 0;
   double time_us = 0;             // simulated makespan of the solve
   double effective_gflops = 0;    // aggregate sustained effective Gflops
-  int iterations = 0;
+  int iterations = 0;             // iterations executed (incl. re-run segments)
+  int rollbacks = 0;              // SDC rollbacks (re-run reliable segments)
+  sim::FaultCounters faults{};    // injection/recovery totals over all ranks
 };
 
 // run the modeled solve on `cluster` (one rank per GPU); returns aggregate

@@ -51,6 +51,7 @@ public:
     apply_clover_xpay<P>(out, clover_, Parity::Even, in, local_, 0, vh,
                          static_cast<typename P::real_t>(-0.25));
     effective_flops_ += perf::effective_matrix_flops(vh);
+    maybe_inject_device_flip(out);
   }
 
   void apply_dagger(SpinorField<P>& out, const SpinorField<P>& in) override {
@@ -109,6 +110,25 @@ public:
   }
 
 private:
+  // Transient device-memory fault ("ECC off", as on the paper's GTX 285s):
+  // one deterministic draw per operator application; when it fires, a single
+  // bit of the freshly-computed output spinor is flipped -- the silent data
+  // corruption the solver's reliable-update SDC check exists to catch.
+  void maybe_inject_device_flip(SpinorField<P>& out) {
+    auto& fs = grid_.context().faults();
+    if (!fs.enabled()) return;
+    const auto selector = fs.next_device_fault();
+    if (!selector) return;
+    ++fs.counters().device_flips;
+    auto& data = out.raw_data();
+    if (data.empty()) return;
+    const std::uint64_t nbits =
+        static_cast<std::uint64_t>(data.size()) * sizeof(typename P::store_t) * 8;
+    const std::uint64_t bit = *selector % nbits;
+    auto* bytes = reinterpret_cast<unsigned char*>(data.data());
+    bytes[bit / 8] ^= static_cast<unsigned char>(1u << (bit % 8));
+  }
+
   void halo(SpinorField<P>& out, SpinorField<P>& in, Parity out_parity, double scale,
             Accumulate acc) {
     HaloDslashConfig cfg;

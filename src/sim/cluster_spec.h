@@ -6,6 +6,7 @@
 // single QDR InfiniBand switch, dual-socket Nehalem hosts.
 
 #include "gpusim/device_spec.h"
+#include "sim/fault_model.h"
 
 #include <stdexcept>
 
@@ -43,6 +44,9 @@ struct ClusterSpec {
   // 0 = one rank per GPU; a smaller value leaves trailing GPUs idle (e.g. 3
   // ranks on two dual-GPU nodes)
   int ranks = 0;
+  // seeded fault environment (all rates default to zero = fault-free);
+  // injection is deterministic in (seed, rank, event counter)
+  FaultConfig faults{};
 
   int num_ranks() const { return ranks > 0 ? ranks : nodes * gpus_per_node; }
   int node_of(int rank) const { return rank / gpus_per_node; }

@@ -1,5 +1,6 @@
 #include "sim/event_sim.h"
 
+#include <chrono>
 #include <cmath>
 #include <exception>
 #include <stdexcept>
@@ -9,15 +10,53 @@ namespace quda::sim {
 
 RankContext::RankContext(VirtualCluster& cluster, int rank, const ClusterSpec& spec)
     : cluster_(cluster), rank_(rank), spec_(spec),
-      device_(spec.device, spec.bus, spec.good_numa_binding) {}
+      device_(spec.device, spec.bus, spec.good_numa_binding),
+      faults_(&cluster.fault_model_, rank) {}
 
 int RankContext::size() const { return spec_.num_ranks(); }
 
-void RankContext::isend(int dst, int tag, std::vector<std::byte> payload,
-                        std::int64_t modeled_bytes) {
+RankContext::SendStatus RankContext::isend(int dst, int tag, std::vector<std::byte> payload,
+                                           std::int64_t modeled_bytes) {
+  SendStatus status;
   Message m;
   m.payload = std::move(payload);
   m.modeled_bytes = modeled_bytes;
+
+  if (faults_.enabled()) {
+    const MessageFault f = faults_.next_message_fault();
+    auto& counters = faults_.counters();
+    if (f.stall_us > 0) {
+      // transient rank stall (OS jitter, PCIe hiccup): charged before the send
+      clock_.advance(f.stall_us);
+      ++counters.stalls;
+      counters.recovery_us += f.stall_us;
+    }
+    if (f.drop) {
+      // the attempt never arrives; enqueue a tombstone so the receiver's
+      // message matching stays in lockstep with the sender's attempt count
+      m.payload.clear();
+      m.dropped = true;
+      ++counters.drops;
+      status.delivered = false;
+    } else {
+      if (f.corrupt) {
+        m.corrupt = true;
+        ++counters.corruptions;
+        status.corrupted = true;
+        if (!m.payload.empty()) {
+          // real corruption: flip one bit of the payload in flight
+          const std::uint64_t nbits = static_cast<std::uint64_t>(m.payload.size()) * 8;
+          const std::uint64_t bit = f.corrupt_bits % nbits;
+          m.payload[bit / 8] ^= std::byte{static_cast<unsigned char>(1u << (bit % 8))};
+        }
+      }
+      if (f.delay_factor != 1.0) {
+        m.delay_factor = f.delay_factor;
+        ++counters.delays;
+      }
+    }
+  }
+
   m.send_time_us = clock_.now_us;
   {
     std::lock_guard<std::mutex> lock(cluster_.mutex_);
@@ -25,6 +64,23 @@ void RankContext::isend(int dst, int tag, std::vector<std::byte> payload,
   }
   cluster_.cv_.notify_all();
   clock_.advance(spec_.net.mpi_overhead_us);
+  return status;
+}
+
+void RankContext::post_send_failure(int dst, int tag) {
+  Message m;
+  m.failed = true;
+  m.send_time_us = clock_.now_us;
+  {
+    std::lock_guard<std::mutex> lock(cluster_.mutex_);
+    cluster_.channels_[{rank_, dst, tag}].queue.push_back(std::move(m));
+  }
+  cluster_.cv_.notify_all();
+}
+
+void RankContext::raise_timeout(const std::string& what) {
+  cluster_.poison(VirtualCluster::AbortKind::Timeout);
+  throw CommTimeout(what);
 }
 
 RankContext::PendingRecv RankContext::irecv(int src, int tag) {
@@ -33,26 +89,63 @@ RankContext::PendingRecv RankContext::irecv(int src, int tag) {
   return p;
 }
 
-RecvHandle RankContext::wait(const PendingRecv& pending) {
+RecvHandle RankContext::wait(PendingRecv& pending, double wall_timeout_ms) {
+  if (pending.consumed)
+    throw std::logic_error("RankContext::wait() called twice on the same PendingRecv");
+  pending.consumed = true;
+
   RecvHandle h;
   {
     std::unique_lock<std::mutex> lock(cluster_.mutex_);
     auto& chan = cluster_.channels_[{pending.src, rank_, pending.tag}];
-    cluster_.cv_.wait(lock, [&] { return cluster_.aborted_ || !chan.queue.empty(); });
-    if (chan.queue.empty()) throw std::runtime_error("peer rank aborted during recv");
+    for (;;) {
+      // skip dropped-attempt tombstones silently: the lost attempt's timing
+      // effect reaches us through the retransmission's later send time
+      while (!chan.queue.empty() && chan.queue.front().dropped && !chan.queue.front().failed)
+        chan.queue.pop_front();
+      if (!chan.queue.empty()) break;
+      if (cluster_.aborted_) {
+        if (cluster_.abort_kind_ == VirtualCluster::AbortKind::Timeout)
+          throw CommTimeout("peer rank raised CommTimeout during recv");
+        throw std::runtime_error("peer rank aborted during recv");
+      }
+      if (wall_timeout_ms > 0) {
+        const auto deadline =
+            std::chrono::steady_clock::now() +
+            std::chrono::microseconds(static_cast<std::int64_t>(wall_timeout_ms * 1e3));
+        if (cluster_.cv_.wait_until(lock, deadline) == std::cv_status::timeout &&
+            chan.queue.empty() && !cluster_.aborted_) {
+          lock.unlock();
+          raise_timeout("wall-clock timeout waiting for message from rank " +
+                        std::to_string(pending.src));
+        }
+      } else {
+        cluster_.cv_.wait(lock);
+      }
+    }
+    if (chan.queue.front().failed) {
+      chan.queue.pop_front();
+      lock.unlock();
+      raise_timeout("sender rank " + std::to_string(pending.src) +
+                    " exhausted its retry budget");
+    }
     h.msg_ = std::move(chan.queue.front());
     chan.queue.pop_front();
   }
   const double path =
       spec_.net.transfer_time_us(h.msg_.modeled_bytes, spec_.same_node(pending.src, rank_),
-                                 spec_.good_numa_binding);
+                                 spec_.good_numa_binding) *
+      h.msg_.delay_factor;
   h.arrival_us_ = std::max(h.msg_.send_time_us, pending.post_time_us) + path;
   clock_.now_us = std::max(clock_.now_us, h.arrival_us_);
   clock_.advance(spec_.net.mpi_overhead_us);
   return h;
 }
 
-RecvHandle RankContext::recv(int src, int tag) { return wait(irecv(src, tag)); }
+RecvHandle RankContext::recv(int src, int tag) {
+  PendingRecv p = irecv(src, tag);
+  return wait(p);
+}
 
 void RankContext::allreduce_sum(double* values, int count) {
   const int n = spec_.num_ranks();
@@ -82,8 +175,11 @@ void RankContext::allreduce_sum(double* values, int count) {
   } else {
     cluster_.cv_.wait(lock,
                       [&] { return cluster_.aborted_ || red.generation != my_generation; });
-    if (red.generation == my_generation)
+    if (red.generation == my_generation) {
+      if (cluster_.abort_kind_ == VirtualCluster::AbortKind::Timeout)
+        throw CommTimeout("peer rank raised CommTimeout during allreduce");
       throw std::runtime_error("peer rank aborted during allreduce");
+    }
   }
   clock_.now_us = std::max(clock_.now_us, red.done_time);
   for (int i = 0; i < count; ++i) values[i] = red.result[static_cast<std::size_t>(i)];
@@ -94,11 +190,23 @@ void RankContext::barrier() {
   allreduce_sum(&v, 1);
 }
 
+void VirtualCluster::poison(AbortKind kind) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!aborted_) {
+      aborted_ = true;
+      abort_kind_ = kind;
+    }
+  }
+  cv_.notify_all();
+}
+
 void VirtualCluster::run(const std::function<void(RankContext&)>& fn) {
   const int n = spec_.num_ranks();
   {
     std::lock_guard<std::mutex> lock(mutex_);
     aborted_ = false;
+    abort_kind_ = AbortKind::None;
     channels_.clear();
   }
   std::vector<std::unique_ptr<RankContext>> contexts;
@@ -114,24 +222,33 @@ void VirtualCluster::run(const std::function<void(RankContext&)>& fn) {
     threads.emplace_back([&, r] {
       try {
         fn(*contexts[static_cast<std::size_t>(r)]);
+      } catch (const CommTimeout&) {
+        {
+          std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+        poison(AbortKind::Timeout);
       } catch (...) {
         {
           std::lock_guard<std::mutex> lock(error_mutex);
           if (!first_error) first_error = std::current_exception();
         }
-        {
-          std::lock_guard<std::mutex> lock(mutex_);
-          aborted_ = true;
-        }
-        cv_.notify_all(); // unblock peers waiting on us
+        poison(AbortKind::Error);
       }
     });
   }
   for (auto& t : threads) t.join();
-  if (first_error) std::rethrow_exception(first_error);
 
+  // fault/recovery accounting survives even a failed run -- tests assert on
+  // counters after catching CommTimeout
+  fault_totals_ = FaultCounters{};
   makespan_us_ = 0;
-  for (auto& c : contexts) makespan_us_ = std::max(makespan_us_, c->clock().now_us);
+  for (auto& c : contexts) {
+    fault_totals_ += c->faults().counters();
+    makespan_us_ = std::max(makespan_us_, c->clock().now_us);
+  }
+
+  if (first_error) std::rethrow_exception(first_error);
   channels_.clear();
 }
 

@@ -10,9 +10,19 @@
 //
 // Semantics mirror the MPI subset that QMP exposes and the paper uses:
 // point-to-point non-blocking send/receive with handles, and all-reduce.
+//
+// Fault injection (ClusterSpec::faults) is applied at the transport:
+// isend() stamps each attempt with the rank's deterministic fault draw --
+// dropped attempts become tombstones the receiver silently skips (their
+// timing effect arrives through the retransmission's later send time),
+// corrupted attempts carry a flipped payload bit plus a corruption flag,
+// delayed attempts a path-time multiplier.  A sender that exhausts its
+// retry budget posts a *failed* tombstone and poisons the cluster so every
+// blocked rank raises a typed CommTimeout instead of deadlocking.
 
 #include "gpusim/device.h"
 #include "sim/cluster_spec.h"
+#include "sim/fault_model.h"
 
 #include <condition_variable>
 #include <cstddef>
@@ -38,18 +48,32 @@ struct Message {
   std::vector<std::byte> payload;  // empty in Modeled mode
   std::int64_t modeled_bytes = 0;  // what the network model charges
   double send_time_us = 0;         // sender clock when isend was posted
+  // fault metadata stamped by the transport
+  double delay_factor = 1.0; // degraded-link path-time multiplier
+  bool corrupt = false;      // a payload bit was flipped in flight
+  bool dropped = false;      // tombstone: this attempt never arrived
+  bool failed = false;       // sender exhausted retries; receiver must fail too
 };
 
 class RecvHandle {
 public:
-  // blocks (in wall time) until the message arrives; returns the receiver's
-  // simulated completion time given the time it started waiting
   friend class RankContext;
-  std::vector<std::byte> take_payload() { return std::move(msg_.payload); }
+
+  std::vector<std::byte> take_payload() {
+    if (payload_taken_)
+      throw std::logic_error("RecvHandle::take_payload() called twice on the same message");
+    payload_taken_ = true;
+    return std::move(msg_.payload);
+  }
+
+  // fault metadata the reliable layer needs
+  bool corrupt() const { return msg_.corrupt; }
+  std::int64_t modeled_bytes() const { return msg_.modeled_bytes; }
 
 private:
   Message msg_;
   double arrival_us_ = 0;
+  bool payload_taken_ = false;
 };
 
 // Per-rank execution context: the clock, the simulated GPU, and messaging.
@@ -63,9 +87,27 @@ public:
 
   SimClock& clock() { return clock_; }
   gpusim::Device& device() { return device_; }
+  FaultStream& faults() { return faults_; }
 
-  // post a non-blocking send; advances the clock by the MPI call overhead
-  void isend(int dst, int tag, std::vector<std::byte> payload, std::int64_t modeled_bytes);
+  // post a non-blocking send; advances the clock by the MPI call overhead.
+  // Under fault injection the attempt may be dropped, corrupted, or delayed;
+  // the returned status tells the *sender's* reliable layer what the
+  // deterministic schedule did (standing in for ack-timeout / NACK
+  // detection, whose latency the reliable layer charges explicitly).
+  struct SendStatus {
+    bool delivered = true;
+    bool corrupted = false;
+  };
+  SendStatus isend(int dst, int tag, std::vector<std::byte> payload,
+                   std::int64_t modeled_bytes);
+
+  // a sender that exhausted its retry budget posts this so the receiver
+  // fails with a typed CommTimeout instead of waiting forever
+  void post_send_failure(int dst, int tag);
+
+  // poison the whole cluster with a timeout and raise CommTimeout here;
+  // peers blocked in wait()/allreduce are woken and raise CommTimeout too
+  [[noreturn]] void raise_timeout(const std::string& what);
 
   // post a non-blocking receive; captures the post time so that a later
   // wait() completes at  max(sender post time, recv post time) + path  --
@@ -74,9 +116,16 @@ public:
     int src = 0;
     int tag = 0;
     double post_time_us = 0;
+    bool consumed = false; // set by wait(); re-waiting is a hard error
   };
   PendingRecv irecv(int src, int tag);
-  RecvHandle wait(const PendingRecv& pending);
+
+  // Blocks (in wall time) until the message arrives.  Dropped-attempt
+  // tombstones are skipped silently; a failed tombstone (sender gave up)
+  // raises CommTimeout.  wall_timeout_ms > 0 bounds the wall-clock wait as
+  // a last-ditch deadlock guard (also CommTimeout).  Waiting twice on the
+  // same PendingRecv is a hard error.
+  RecvHandle wait(PendingRecv& pending, double wall_timeout_ms = 0);
 
   // blocking receive: irecv + wait
   RecvHandle recv(int src, int tag);
@@ -97,11 +146,13 @@ private:
   const ClusterSpec& spec_;
   SimClock clock_;
   gpusim::Device device_;
+  FaultStream faults_;
 };
 
 class VirtualCluster {
 public:
-  explicit VirtualCluster(ClusterSpec spec) : spec_(std::move(spec)) {}
+  explicit VirtualCluster(ClusterSpec spec)
+      : spec_(std::move(spec)), fault_model_(spec_.faults) {}
 
   const ClusterSpec& spec() const { return spec_; }
 
@@ -111,19 +162,33 @@ public:
   // maximum simulated completion time over all ranks of the last run()
   double makespan_us() const { return makespan_us_; }
 
+  // fault/recovery accounting summed over all ranks of the last run()
+  // (populated even when a rank threw)
+  const FaultCounters& fault_totals() const { return fault_totals_; }
+
 private:
   friend class RankContext;
+
+  // why the cluster was poisoned: peers blocked on a timed-out rank raise
+  // CommTimeout; peers blocked on a generically-failed rank raise
+  // runtime_error, preserving the original abort semantics
+  enum class AbortKind { None, Error, Timeout };
 
   struct Channel {
     std::deque<Message> queue;
   };
   using ChannelKey = std::tuple<int, int, int>; // src, dst, tag
 
+  // mark the cluster failed and wake every blocked rank
+  void poison(AbortKind kind);
+
   ClusterSpec spec_;
+  FaultModel fault_model_;
   std::mutex mutex_;
   std::condition_variable cv_;
   std::map<ChannelKey, Channel> channels_;
   bool aborted_ = false; // a rank threw; peers must not block forever
+  AbortKind abort_kind_ = AbortKind::None;
 
   // allreduce state (generation-counted)
   struct Reduction {
@@ -136,6 +201,7 @@ private:
   } red_;
 
   double makespan_us_ = 0;
+  FaultCounters fault_totals_;
 };
 
 } // namespace quda::sim

@@ -1,0 +1,67 @@
+#include "sim/fault_model.h"
+
+namespace quda::sim {
+
+namespace {
+
+// splitmix64: the standard 64-bit finalizer; statistically strong enough for
+// fault scheduling and fully deterministic across platforms
+std::uint64_t mix64(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+// one draw keyed on (seed, rank, event counter, kind salt)
+std::uint64_t draw(std::uint64_t seed, int rank, std::uint64_t event, std::uint64_t salt) {
+  std::uint64_t h = mix64(seed ^ salt);
+  h = mix64(h ^ (static_cast<std::uint64_t>(static_cast<std::uint32_t>(rank)) << 32));
+  return mix64(h ^ event);
+}
+
+// uniform in [0, 1)
+double u01(std::uint64_t bits) {
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+constexpr std::uint64_t kSaltDrop = 0x64726f70;    // "drop"
+constexpr std::uint64_t kSaltDelay = 0x646c6179;   // "dlay"
+constexpr std::uint64_t kSaltCorrupt = 0x63727074; // "crpt"
+constexpr std::uint64_t kSaltDevice = 0x64657620;  // "dev "
+constexpr std::uint64_t kSaltStall = 0x73746c6c;   // "stll"
+
+} // namespace
+
+MessageFault FaultModel::message_fault(int rank, std::uint64_t event) const {
+  MessageFault f;
+  if (!enabled()) return f;
+  if (config_.stall_rate > 0 &&
+      u01(draw(config_.seed, rank, event, kSaltStall)) < config_.stall_rate)
+    f.stall_us = config_.stall_us;
+  if (config_.drop_rate > 0 &&
+      u01(draw(config_.seed, rank, event, kSaltDrop)) < config_.drop_rate) {
+    f.drop = true;
+    return f; // a dropped attempt never materializes its delay or corruption
+  }
+  if (config_.corrupt_rate > 0) {
+    const std::uint64_t bits = draw(config_.seed, rank, event, kSaltCorrupt);
+    if (u01(bits) < config_.corrupt_rate) {
+      f.corrupt = true;
+      f.corrupt_bits = mix64(bits);
+    }
+  }
+  if (config_.delay_rate > 0 &&
+      u01(draw(config_.seed, rank, event, kSaltDelay)) < config_.delay_rate)
+    f.delay_factor = config_.delay_factor;
+  return f;
+}
+
+std::optional<std::uint64_t> FaultModel::device_fault(int rank, std::uint64_t event) const {
+  if (config_.device_flip_rate <= 0) return std::nullopt;
+  const std::uint64_t bits = draw(config_.seed, rank, event, kSaltDevice);
+  if (u01(bits) >= config_.device_flip_rate) return std::nullopt;
+  return mix64(bits);
+}
+
+} // namespace quda::sim

@@ -1,0 +1,149 @@
+#pragma once
+// Seeded, deterministic fault injection for the simulated cluster.
+//
+// The paper's production setting (16 nodes, 32 GTX 285s with ECC *off*, a
+// shared QDR IB switch) is exactly the regime where transient faults --
+// dropped or late messages, PCIe stalls, silent bit-flips in device memory
+// -- dominate operational cost.  This module injects those faults on a
+// reproducible schedule: every draw is a pure function of
+// (seed, rank, per-rank event counter, fault kind), with no wall-clock
+// randomness, so a given seed produces the identical fault schedule and
+// identical simulated-time totals on every run regardless of OS thread
+// scheduling.
+//
+// Injection happens in the transport (RankContext::isend stamps each
+// message attempt) and in the parallel operator (one device-memory draw per
+// matrix application).  Recovery lives one layer up: the reliable message
+// protocol in src/comm (sequence numbers, checksums, bounded retry) and the
+// rollback/restart machinery in src/solvers.
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+namespace quda::sim {
+
+// typed failure raised when a message cannot be delivered within the retry
+// budget -- or when a peer rank hit that condition and poisoned the cluster.
+// Replaces blocking forever on a lost message.
+struct CommTimeout : std::runtime_error {
+  explicit CommTimeout(const std::string& what) : std::runtime_error(what) {}
+};
+
+// fault environment of the simulated hardware; lives in ClusterSpec
+struct FaultConfig {
+  std::uint64_t seed = 12345;
+  double drop_rate = 0;        // per message attempt: the attempt never arrives
+  double delay_rate = 0;       // per delivered message: degraded-link transfer
+  double delay_factor = 8.0;   // path-time multiplier for delayed messages
+  double corrupt_rate = 0;     // per delivered message: one payload bit flipped
+  double device_flip_rate = 0; // per operator application: device-memory SDC
+  double stall_rate = 0;       // per send: transient rank stall (OS jitter, PCIe hiccup)
+  double stall_us = 500.0;     // stall duration charged to the rank's clock
+
+  bool enabled() const {
+    return drop_rate > 0 || delay_rate > 0 || corrupt_rate > 0 || device_flip_rate > 0 ||
+           stall_rate > 0;
+  }
+};
+
+// recovery policy of the reliable message layer (src/comm); also carried by
+// InvertParams so applications can tune it per solve
+struct RetryPolicy {
+  int max_retries = 3;            // resend attempts per message before giving up
+  double ack_timeout_us = 50.0;   // sim time for the sender to notice a lost attempt
+  double backoff_us = 25.0;       // exponential backoff base between attempts
+  double backoff_factor = 2.0;
+  // frame halo messages with sequence numbers + checksums; detection cost is
+  // charged at checksum_bw_gbs (hardware CRC32C via SSE4.2 on the Nehalem
+  // hosts streams at memory bandwidth)
+  bool checksums = false;
+  double checksum_bw_gbs = 20.0;
+  // wall-clock guard on wait(): a receiver stuck this long with no arrival
+  // raises CommTimeout instead of hanging CI forever (0 disables)
+  double wall_timeout_ms = 20000;
+};
+
+// per-rank fault/recovery accounting; aggregated by VirtualCluster::run
+struct FaultCounters {
+  // injected events
+  long drops = 0;
+  long delays = 0;
+  long corruptions = 0;
+  long device_flips = 0;
+  long stalls = 0;
+  // detection and recovery at the comm layer
+  long checksum_errors = 0;    // corrupt frames caught by the receiver
+  long retries = 0;            // resend attempts by the reliable sender
+  long recovered_messages = 0; // messages delivered after >= 1 lost/corrupt attempt
+  double recovery_us = 0;      // sim time charged to timeouts, backoff, and stalls
+
+  FaultCounters& operator+=(const FaultCounters& o) {
+    drops += o.drops;
+    delays += o.delays;
+    corruptions += o.corruptions;
+    device_flips += o.device_flips;
+    stalls += o.stalls;
+    checksum_errors += o.checksum_errors;
+    retries += o.retries;
+    recovered_messages += o.recovered_messages;
+    recovery_us += o.recovery_us;
+    return *this;
+  }
+};
+
+// what the transport does with one send attempt
+struct MessageFault {
+  bool drop = false;
+  bool corrupt = false;
+  double delay_factor = 1.0;
+  double stall_us = 0;
+  std::uint64_t corrupt_bits = 0; // selector for which payload bit to flip
+};
+
+// Immutable, shared across ranks.  Draws are stateless pure functions of
+// (seed, rank, counter, kind); the per-rank counters live in FaultStream.
+class FaultModel {
+public:
+  explicit FaultModel(const FaultConfig& config) : config_(config) {}
+
+  const FaultConfig& config() const { return config_; }
+  bool enabled() const { return config_.enabled(); }
+
+  MessageFault message_fault(int rank, std::uint64_t event) const;
+  // returns a 64-bit flip selector (site and bit) when the draw fires
+  std::optional<std::uint64_t> device_fault(int rank, std::uint64_t event) const;
+
+private:
+  FaultConfig config_;
+};
+
+// Per-rank view: owns the event counters and the fault/recovery accounting.
+// One per RankContext; accessed only from that rank's thread.
+class FaultStream {
+public:
+  FaultStream(const FaultModel* model, int rank) : model_(model), rank_(rank) {}
+
+  bool enabled() const { return model_ != nullptr && model_->enabled(); }
+  const FaultConfig& config() const { return model_->config(); }
+
+  MessageFault next_message_fault() {
+    return model_->message_fault(rank_, message_events_++);
+  }
+  std::optional<std::uint64_t> next_device_fault() {
+    return model_->device_fault(rank_, device_events_++);
+  }
+
+  FaultCounters& counters() { return counters_; }
+  const FaultCounters& counters() const { return counters_; }
+
+private:
+  const FaultModel* model_ = nullptr;
+  int rank_ = 0;
+  std::uint64_t message_events_ = 0;
+  std::uint64_t device_events_ = 0;
+  FaultCounters counters_;
+};
+
+} // namespace quda::sim

@@ -54,13 +54,32 @@ SolverStats solve_bicgstab(LinearOperator<P>& op, SpinorField<P>& x, const Spino
   op.account_blas(2, 0);
   complexd alpha{1.0, 0.0}, omega{1.0, 0.0};
 
+  // scalar breakdown: restart the Krylov space from the current iterate
+  // (bounded) instead of giving up on the first degenerate inner product
+  auto breakdown_restart = [&]() {
+    if (stats.breakdown_restarts >= params.max_breakdown_restarts) return false;
+    ++stats.breakdown_restarts;
+    op.apply(r, x);
+    r2 = op.global_sum(blas::xmy_norm(b, r));
+    blas::copy(r0, r);
+    blas::copy(p, r);
+    rho = op.global_sum(blas::cdot(r0, r));
+    op.account_blas(6, 3);
+    alpha = complexd{1.0, 0.0};
+    omega = complexd{1.0, 0.0};
+    return norm2(rho) != 0.0;
+  };
+
   int k = 0;
   while (k < params.max_iter && r2 > stop) {
     // v = A p
     op.apply(v, p);
     const complexd r0v = op.global_sum(blas::cdot(r0, v));
     op.account_blas(2, 0);
-    if (norm2(r0v) == 0.0) break; // breakdown
+    if (norm2(r0v) == 0.0) { // breakdown
+      if (!breakdown_restart()) break;
+      continue;
+    }
     alpha = rho / r0v;
 
     // s = r - alpha v
@@ -73,7 +92,10 @@ SolverStats solve_bicgstab(LinearOperator<P>& op, SpinorField<P>& x, const Spino
     const complexd ts = op.global_sum(blas::cdot(t, s));
     const double t2 = op.global_sum(blas::norm2(t));
     op.account_blas(3, 0);
-    if (t2 == 0.0) break;
+    if (t2 == 0.0) {
+      if (!breakdown_restart()) break;
+      continue;
+    }
     omega = ts / t2;
 
     // x += alpha p + omega s
@@ -87,7 +109,11 @@ SolverStats solve_bicgstab(LinearOperator<P>& op, SpinorField<P>& x, const Spino
     rho_next = op.global_sum(rho_next);
     op.account_blas(3, 1);
 
-    if (norm2(rho_next) == 0.0) break; // breakdown: r orthogonal to r0
+    if (norm2(rho_next) == 0.0) { // breakdown: r orthogonal to r0
+      ++k;
+      if (!breakdown_restart()) break;
+      continue;
+    }
     const complexd beta = (rho_next / rho) * (alpha / omega);
     rho = rho_next;
 

@@ -47,13 +47,31 @@ SolverStats solve_cgnr(LinearOperator<P>& op, SpinorField<P>& x, const SpinorFie
   int k = 0;
   double true_r2 = b2;
 
+  // loss of positivity in p^dag A^dag A p means the search direction has
+  // degenerated (rounding or a corrupted iterate); restart steepest-descent
+  // from the current x, bounded by the restart budget
+  auto breakdown_restart = [&]() {
+    if (stats.breakdown_restarts >= params.max_breakdown_restarts) return false;
+    ++stats.breakdown_restarts;
+    op.apply(tmp, x);
+    blas::xmy_norm(b, tmp);
+    op.apply_dagger(r, tmp);
+    blas::copy(p, r);
+    rr = op.global_sum(blas::norm2(r));
+    op.account_blas(5, 3);
+    return rr > 0.0;
+  };
+
   while (k < params.max_iter) {
     // ap = A^dag A p
     op.apply(tmp, p);
     op.apply_dagger(ap, tmp);
     const double pap = op.global_sum(blas::cdot(p, ap)).re;
     op.account_blas(2, 0);
-    if (pap <= 0.0) break;
+    if (pap <= 0.0) {
+      if (!breakdown_restart()) break;
+      continue;
+    }
     const double alpha = rr / pap;
 
     blas::axpy(alpha, p, x);

@@ -74,6 +74,44 @@ SolverStats solve_bicgstab_reliable(LinearOperator<PHi>& op_hi, LinearOperator<P
   op_lo.account_blas(2, 0);
   complexd alpha{1.0, 0.0}, omega{1.0, 0.0};
 
+  // last reliable iterate, for SDC rollback (only kept when detection is on)
+  const bool sdc_on = params.sdc_threshold > 0;
+  SpinorField<PHi> x_saved = SpinorField<PHi>::like(b);
+  if (sdc_on) {
+    blas::copy(x_saved, x);
+    op_hi.account_blas(1, 1);
+  }
+
+  // rebuild the Krylov space from the current high-precision residual r_hi
+  // (used after rollbacks and breakdown restarts); returns false when the
+  // new shadow residual is itself degenerate
+  auto rebuild_krylov = [&]() {
+    convert_spinor_field(r, r_hi);
+    blas::copy(r0, r);
+    blas::copy(p, r);
+    x_lo.zero();
+    rho = op_lo.global_sum(blas::cdot(r0, r));
+    op_lo.account_blas(4, 3);
+    alpha = complexd{1.0, 0.0};
+    omega = complexd{1.0, 0.0};
+    maxrr = std::sqrt(r2);
+    return norm2(rho) != 0.0;
+  };
+
+  // scalar breakdown (|rho| or |omega| underflow): fold the sloppy progress
+  // into x, recompute the true residual, and restart the Krylov space from
+  // the current iterate -- bounded by the restart budget
+  auto breakdown_restart = [&]() {
+    if (stats.breakdown_restarts >= params.max_breakdown_restarts) return false;
+    ++stats.breakdown_restarts;
+    convert_spinor_field(tmp_hi, x_lo);
+    blas::axpy(1.0, tmp_hi, x);
+    op_hi.apply(r_hi, x);
+    r2 = op_hi.global_sum(blas::xmy_norm(b, r_hi));
+    op_hi.account_blas(5, 2);
+    return rebuild_krylov();
+  };
+
   // stagnation guard: when the tolerance sits at (or below) the outer
   // precision's floor, the true residual stops improving between reliable
   // updates; give up rather than thrash update after update
@@ -85,7 +123,10 @@ SolverStats solve_bicgstab_reliable(LinearOperator<PHi>& op_hi, LinearOperator<P
     op_lo.apply(v, p);
     const complexd r0v = op_lo.global_sum(blas::cdot(r0, v));
     op_lo.account_blas(2, 0);
-    if (norm2(r0v) == 0.0) break;
+    if (norm2(r0v) == 0.0) {
+      if (!breakdown_restart()) break;
+      continue;
+    }
     alpha = rho / r0v;
 
     blas::copy(s, r);
@@ -96,7 +137,10 @@ SolverStats solve_bicgstab_reliable(LinearOperator<PHi>& op_hi, LinearOperator<P
     const complexd ts = op_lo.global_sum(blas::cdot(t, s));
     const double t2 = op_lo.global_sum(blas::norm2(t));
     op_lo.account_blas(3, 0);
-    if (t2 == 0.0) break;
+    if (t2 == 0.0) {
+      if (!breakdown_restart()) break;
+      continue;
+    }
     omega = ts / t2;
 
     blas::bicgstab_x_update(x_lo, alpha, p, omega, s);
@@ -113,7 +157,9 @@ SolverStats solve_bicgstab_reliable(LinearOperator<PHi>& op_hi, LinearOperator<P
     if (rnorm > maxrr) maxrr = rnorm;
 
     // --- reliable update trigger ------------------------------------------
-    if (rnorm < params.delta * maxrr || r2 < stop) {
+    // a non-finite iterated residual means an iterate was corrupted; force
+    // an update so the true residual exposes it to the SDC check below
+    if (rnorm < params.delta * maxrr || r2 < stop || !std::isfinite(r2)) {
       // fold the sloppy solution into the high-precision solution and
       // recompute the true residual
       convert_spinor_field(tmp_hi, x_lo);
@@ -124,9 +170,37 @@ SolverStats solve_bicgstab_reliable(LinearOperator<PHi>& op_hi, LinearOperator<P
       op_hi.apply(r_hi, x);
       r2 = op_hi.global_sum(blas::xmy_norm(b, r_hi));
       op_hi.account_blas(2, 1);
+      ++stats.reliable_updates;
+
+      // --- SDC check: does the true residual contradict convergence? ------
+      if (sdc_on && (!std::isfinite(r2) ||
+                     r2 > params.sdc_threshold * params.sdc_threshold *
+                              std::max(last_update_r2, stop))) {
+        ++stats.sdc_detected;
+        // roll back to the last reliable iterate; its corrupted successor
+        // (and the whole Krylov space built on it) is discarded
+        blas::copy(x, x_saved);
+        op_hi.apply(r_hi, x);
+        r2 = op_hi.global_sum(blas::xmy_norm(b, r_hi));
+        op_hi.account_blas(3, 2);
+        if (stats.rollbacks >= params.max_rollbacks) {
+          stats.escalated = true; // budget exhausted: caller escalates
+          break;
+        }
+        ++stats.rollbacks;
+        last_update_r2 = r2;
+        stagnant_updates = 0;
+        if (!rebuild_krylov()) break;
+        continue;
+      }
+
+      // accepted: this iterate becomes the rollback point
+      if (sdc_on) {
+        blas::copy(x_saved, x);
+        op_hi.account_blas(1, 1);
+      }
       convert_spinor_field(r, r_hi);
       op_lo.account_blas(1, 1);
-      ++stats.reliable_updates;
       maxrr = std::sqrt(r2);
       if (r2 <= stop) break;
       if (r2 > 0.8 * last_update_r2) {

@@ -9,6 +9,10 @@ std::string SolverStats::summary() const {
   os << (converged ? "converged" : "NOT converged") << " in " << iterations << " iterations";
   if (reliable_updates > 0) os << " (" << reliable_updates << " reliable updates)";
   if (restarts > 0) os << " (" << restarts << " restarts)";
+  if (sdc_detected > 0)
+    os << " (" << sdc_detected << " SDC detections, " << rollbacks << " rollbacks)";
+  if (breakdown_restarts > 0) os << " (" << breakdown_restarts << " breakdown restarts)";
+  if (escalated) os << " [escalated]";
   os << ", true |r|/|b| = " << true_residual;
   return os.str();
 }

@@ -18,6 +18,16 @@ struct SolverParams {
   double delta = 1e-1;     // reliable update threshold (mixed precision only)
   int max_iter = 10000;
   bool verbose = false;
+
+  // --- fault resilience --------------------------------------------------
+  // Silent-data-corruption detection piggybacks on the reliable updates: a
+  // true residual exceeding sdc_threshold times the residual at the last
+  // accepted update means an iterate was corrupted (e.g. a device-memory
+  // bit flip with ECC off); the solver rolls back to the last reliable
+  // iterate and rebuilds the Krylov space.  0 disables detection.
+  double sdc_threshold = 0;
+  int max_rollbacks = 10;         // SDC rollback budget before giving up
+  int max_breakdown_restarts = 3; // |rho|,|omega| underflow restart budget
 };
 
 struct SolverStats {
@@ -26,6 +36,26 @@ struct SolverStats {
   int restarts = 0;          // explicit restarts (defect correction outer steps)
   double true_residual = 0;  // |b - Ax| / |b| measured at exit
   bool converged = false;
+
+  // fault recovery accounting
+  int sdc_detected = 0;        // corrupted iterates caught at reliable updates
+  int rollbacks = 0;           // rollbacks to the last reliable iterate
+  int breakdown_restarts = 0;  // Krylov restarts after scalar breakdown
+  bool escalated = false;      // recovery budget exhausted; caller should
+                               // escalate to full outer precision
+
+  SolverStats& merge(const SolverStats& o) {
+    iterations += o.iterations;
+    reliable_updates += o.reliable_updates;
+    restarts += o.restarts;
+    true_residual = o.true_residual;
+    converged = o.converged;
+    sdc_detected += o.sdc_detected;
+    rollbacks += o.rollbacks;
+    breakdown_restarts += o.breakdown_restarts;
+    escalated = escalated || o.escalated;
+    return *this;
+  }
 
   std::string summary() const;
 };

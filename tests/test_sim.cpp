@@ -178,6 +178,64 @@ TEST(EventSim, RankFailurePropagatesWithoutDeadlock) {
                std::runtime_error);
 }
 
+TEST(EventSim, DoubleTakePayloadIsHardError) {
+  VirtualCluster cluster(two_ranks_one_node());
+  cluster.run([](RankContext& ctx) {
+    if (ctx.rank() == 0) {
+      ctx.isend(1, 0, std::vector<std::byte>(8), 64);
+    } else {
+      RecvHandle h = ctx.recv(0, 0);
+      (void)h.take_payload();
+      EXPECT_THROW((void)h.take_payload(), std::logic_error);
+    }
+  });
+}
+
+TEST(EventSim, DoubleWaitOnPendingRecvIsHardError) {
+  VirtualCluster cluster(two_ranks_one_node());
+  cluster.run([](RankContext& ctx) {
+    if (ctx.rank() == 0) {
+      ctx.isend(1, 0, std::vector<std::byte>(8), 64);
+    } else {
+      RankContext::PendingRecv pending = ctx.irecv(0, 0);
+      (void)ctx.wait(pending);
+      EXPECT_THROW((void)ctx.wait(pending), std::logic_error);
+    }
+  });
+}
+
+TEST(GridTopology, CoordsRankRoundTrip2x2x2x4) {
+  const comm::GridTopology topo{{2, 2, 2, 4}};
+  ASSERT_EQ(topo.num_ranks(), 32);
+  for (int r = 0; r < topo.num_ranks(); ++r) {
+    const auto c = topo.coords(r);
+    for (int mu = 0; mu < 4; ++mu) {
+      EXPECT_GE(c[static_cast<std::size_t>(mu)], 0);
+      EXPECT_LT(c[static_cast<std::size_t>(mu)], topo.dims[static_cast<std::size_t>(mu)]);
+    }
+    EXPECT_EQ(topo.rank_of(c), r);
+  }
+  // coordinates run x fastest (QMP_declare_logical_topology order)
+  EXPECT_EQ(topo.rank_of({1, 0, 0, 0}), 1);
+  EXPECT_EQ(topo.rank_of({0, 1, 0, 0}), 2);
+  EXPECT_EQ(topo.rank_of({0, 0, 1, 0}), 4);
+  EXPECT_EQ(topo.rank_of({0, 0, 0, 1}), 8);
+}
+
+TEST(GridTopology, PartitionMaskMatchesPartitioned) {
+  for (const comm::GridTopology topo :
+       {comm::GridTopology{{2, 2, 2, 4}}, comm::GridTopology{{1, 2, 1, 8}},
+        comm::GridTopology::time_only(4), comm::GridTopology{{1, 1, 1, 1}}}) {
+    const PartitionMask mask = topo.partition_mask();
+    for (int mu = 0; mu < 4; ++mu) {
+      EXPECT_EQ(mask[static_cast<std::size_t>(mu)], topo.partitioned(mu))
+          << "dims " << topo.dims[0] << "x" << topo.dims[1] << "x" << topo.dims[2] << "x"
+          << topo.dims[3] << " mu=" << mu;
+      EXPECT_EQ(topo.partitioned(mu), topo.dims[static_cast<std::size_t>(mu)] > 1);
+    }
+  }
+}
+
 TEST(QmpGrid, RingTopology) {
   VirtualCluster cluster(ClusterSpec::jlab_9g(4));
   cluster.run([](RankContext& ctx) {
