@@ -18,13 +18,14 @@ using namespace quda::bench;
 
 namespace {
 
-void run_subfigure(const char* title, LatticeDims local,
+void run_subfigure(BenchJson& json, const char* title, LatticeDims local,
                    const std::vector<SolverSeries>& series) {
   const std::vector<int> gpus = {1, 2, 4, 8, 16, 24, 32};
   std::vector<std::vector<parallel::ModeledSolverResult>> results(series.size());
   for (std::size_t s = 0; s < series.size(); ++s)
     for (int n : gpus) results[s].push_back(run_weak_point(n, local, series[s]));
   print_scaling_table(title, gpus, series, results);
+  record_scaling_points(json, title, gpus, series, results);
 }
 
 } // namespace
@@ -32,7 +33,11 @@ void run_subfigure(const char* title, LatticeDims local,
 int main() {
   std::printf("Fig. 4: weak scaling on up to 32 GPUs (overlapped communication)\n");
 
-  run_subfigure("(a) V = 32^4 sites per GPU",
+  BenchJson json("fig4_weak");
+  json.config("scaling", "weak");
+  json.config("policy", "overlap");
+
+  run_subfigure(json, "(a) V = 32^4 sites per GPU",
                 {32, 32, 32, 32},
                 {
                     {"single", Precision::Single, std::nullopt, CommPolicy::Overlap},
@@ -40,7 +45,7 @@ int main() {
                     {"double (paper: OOM)", Precision::Double, std::nullopt, CommPolicy::Overlap},
                 });
 
-  run_subfigure("(b) V = 24^3 x 32 sites per GPU",
+  run_subfigure(json, "(b) V = 24^3 x 32 sites per GPU",
                 {24, 24, 24, 32},
                 {
                     {"single", Precision::Single, std::nullopt, CommPolicy::Overlap},
@@ -49,5 +54,6 @@ int main() {
                     {"double-half", Precision::Double, Precision::Half, CommPolicy::Overlap},
                 });
 
+  json.write();
   return 0;
 }

@@ -18,12 +18,13 @@ using namespace quda::bench;
 
 namespace {
 
-void run_subfigure(const char* title, LatticeDims global, const std::vector<int>& gpus,
-                   const std::vector<SolverSeries>& series) {
+void run_subfigure(BenchJson& json, const char* title, LatticeDims global,
+                   const std::vector<int>& gpus, const std::vector<SolverSeries>& series) {
   std::vector<std::vector<parallel::ModeledSolverResult>> results(series.size());
   for (std::size_t s = 0; s < series.size(); ++s)
     for (int n : gpus) results[s].push_back(run_point(n, global, series[s]));
   print_scaling_table(title, gpus, series, results);
+  record_scaling_points(json, title, gpus, series, results);
 }
 
 } // namespace
@@ -31,8 +32,11 @@ void run_subfigure(const char* title, LatticeDims global, const std::vector<int>
 int main() {
   std::printf("Fig. 5: strong scaling on up to 32 GPUs\n");
 
+  BenchJson json("fig5_strong");
+  json.config("scaling", "strong");
+
   run_subfigure(
-      "(a) V = 32^3 x 256 sites", {32, 32, 32, 256}, {4, 8, 16, 32},
+      json, "(a) V = 32^3 x 256 sites", {32, 32, 32, 256}, {4, 8, 16, 32},
       {
           {"single, no overlap", Precision::Single, std::nullopt, CommPolicy::NoOverlap},
           {"single-half, no ovl", Precision::Single, Precision::Half, CommPolicy::NoOverlap},
@@ -43,7 +47,7 @@ int main() {
       });
 
   run_subfigure(
-      "(b) V = 24^3 x 128 sites", {24, 24, 24, 128}, {1, 2, 4, 8, 16, 32},
+      json, "(b) V = 24^3 x 128 sites", {24, 24, 24, 128}, {1, 2, 4, 8, 16, 32},
       {
           {"single, no overlap", Precision::Single, std::nullopt, CommPolicy::NoOverlap},
           {"single-half, no ovl", Precision::Single, Precision::Half, CommPolicy::NoOverlap},
@@ -51,5 +55,6 @@ int main() {
           {"single-half, overlap", Precision::Single, Precision::Half, CommPolicy::Overlap},
       });
 
+  json.write();
   return 0;
 }

@@ -31,6 +31,12 @@ int main() {
     for (int n : gpus) results[s].push_back(run_point(n, global, series[s]));
   print_scaling_table("V = 24^3 x 128 sites", gpus, series, results);
 
+  BenchJson json("fig6_precision");
+  json.config("scaling", "strong");
+  json.config("policy", "no_overlap");
+  record_scaling_points(json, "V = 24^3 x 128 sites", gpus, series, results);
+  json.write();
+
   // strong-scaling efficiency relative to the smallest fitting partition
   std::printf("\nparallel efficiency at 32 GPUs (vs the smallest fitting partition):\n");
   for (std::size_t s = 0; s < series.size(); ++s) {

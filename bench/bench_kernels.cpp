@@ -9,14 +9,17 @@
 #include "dirac/dslash.h"
 #include "dirac/gauge_init.h"
 #include "dirac/transfer.h"
+#include "exec/host_engine.h"
 
 #include <benchmark/benchmark.h>
+
+#include <fstream>
 
 namespace quda {
 namespace {
 
 struct BenchFixtureData {
-  Geometry g{LatticeDims{8, 8, 8, 16}};
+  Geometry g{LatticeDims{16, 16, 16, 16}};
   HostGaugeField u;
   HostSpinorField in;
   HostCloverField t;
@@ -115,7 +118,81 @@ void BM_CloverConstruction(benchmark::State& state) {
 }
 BENCHMARK(BM_CloverConstruction)->Unit(benchmark::kMillisecond);
 
+// --- execution-engine thread sweeps ------------------------------------------
+// The Arg is the worker budget for the run; 1 is the serial seed path.  These
+// are the wall-clock speedup record for the host execution engine (the
+// results land in BENCH_kernels.json with the rest).
+
+template <typename P> void BM_DslashThreads(benchmark::State& state) {
+  exec::set_thread_budget(static_cast<int>(state.range(0)));
+  const auto& d = data();
+  const GaugeField<P> gauge = upload_gauge<P>(d.u, Reconstruct::Twelve);
+  const SpinorField<P> in = upload_spinor<P>(d.in, Parity::Odd);
+  SpinorField<P> out(d.g);
+  DslashOptions opt;
+  for (auto _ : state) {
+    dslash<P>(out, gauge, in, d.g, opt, 0, d.g.half_volume(), 1, Accumulate::No);
+    benchmark::DoNotOptimize(out.raw_data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * d.g.half_volume());
+  exec::set_thread_budget(0);
+}
+BENCHMARK(BM_DslashThreads<PrecDouble>)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DslashThreads<PrecSingle>)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+template <typename P> void BM_BlasAxpyNormThreads(benchmark::State& state) {
+  exec::set_thread_budget(static_cast<int>(state.range(0)));
+  const auto& d = data();
+  const SpinorField<P> x = upload_spinor<P>(d.in, Parity::Even);
+  SpinorField<P> y = upload_spinor<P>(d.in, Parity::Odd);
+  double acc = 0;
+  for (auto _ : state) {
+    acc += blas::axpy_norm(0.001, x, y);
+  }
+  benchmark::DoNotOptimize(acc);
+  state.SetItemsProcessed(state.iterations() * d.g.half_volume());
+  exec::set_thread_budget(0);
+}
+BENCHMARK(BM_BlasAxpyNormThreads<PrecDouble>)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_BlasAxpyNormThreads<PrecSingle>)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMicrosecond);
+
+template <typename P> void BM_BlasPUpdateThreads(benchmark::State& state) {
+  exec::set_thread_budget(static_cast<int>(state.range(0)));
+  const auto& d = data();
+  SpinorField<P> p = upload_spinor<P>(d.in, Parity::Even);
+  const SpinorField<P> r = upload_spinor<P>(d.in, Parity::Odd);
+  const SpinorField<P> v = upload_spinor<P>(d.in, Parity::Even);
+  const complexd beta{1.01, -0.02}, omega{0.97, 0.01};
+  for (auto _ : state) {
+    blas::bicgstab_p_update(p, r, v, beta, omega);
+    benchmark::DoNotOptimize(p.raw_data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * d.g.half_volume());
+  exec::set_thread_budget(0);
+}
+BENCHMARK(BM_BlasPUpdateThreads<PrecSingle>)->Arg(1)->Arg(8)->Unit(benchmark::kMicrosecond);
+
 } // namespace
 } // namespace quda
 
-BENCHMARK_MAIN();
+// custom main: mirror the console run into BENCH_kernels.json so the host
+// kernel throughput is tracked machine-readably across commits.  An explicit
+// --benchmark_out on the command line overrides the default file.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag = "--benchmark_out=BENCH_kernels.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::string(argv[i]).rfind("--benchmark_out=", 0) == 0) has_out = true;
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

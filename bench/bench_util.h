@@ -8,12 +8,80 @@
 #include "parallel/modeled_solver.h"
 #include "sim/event_sim.h"
 
+#include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace quda::bench {
+
+// Machine-readable companion to the text tables: accumulates config entries
+// and data points, then writes BENCH_<name>.json (config, per-point numbers,
+// total wall clock) so the perf trajectory can be diffed across commits.
+class BenchJson {
+public:
+  explicit BenchJson(std::string name)
+      : name_(std::move(name)), start_(std::chrono::steady_clock::now()) {}
+
+  void config(const std::string& key, const std::string& value) {
+    config_.emplace_back(key, quote(value));
+  }
+  void config(const std::string& key, double value) { config_.emplace_back(key, num(value)); }
+
+  // begin a new data point; field() calls attach to the most recent point
+  void point() { points_.emplace_back(); }
+  void field(const std::string& key, const std::string& value) {
+    points_.back().emplace_back(key, quote(value));
+  }
+  void field(const std::string& key, double value) { points_.back().emplace_back(key, num(value)); }
+
+  // write BENCH_<name>.json in the current directory
+  void write() const {
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+    std::ofstream os("BENCH_" + name_ + ".json");
+    os << "{\n  \"name\": " << quote(name_) << ",\n  \"config\": {";
+    write_fields(os, config_, "\n    ");
+    os << "\n  },\n  \"points\": [";
+    for (std::size_t p = 0; p < points_.size(); ++p) {
+      os << (p ? ",\n    {" : "\n    {");
+      write_fields(os, points_[p], " ");
+      os << " }";
+    }
+    os << "\n  ],\n  \"wall_seconds\": " << num(wall) << "\n}\n";
+  }
+
+private:
+  using Fields = std::vector<std::pair<std::string, std::string>>;
+
+  static std::string quote(const std::string& s) {
+    std::string q = "\"";
+    for (char c : s) {
+      if (c == '"' || c == '\\') q += '\\';
+      q += c;
+    }
+    return q + "\"";
+  }
+
+  static std::string num(double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return buf;
+  }
+
+  static void write_fields(std::ofstream& os, const Fields& fields, const char* sep) {
+    for (std::size_t i = 0; i < fields.size(); ++i)
+      os << (i ? "," : "") << sep << quote(fields[i].first) << ": " << fields[i].second;
+  }
+
+  std::string name_;
+  std::chrono::steady_clock::time_point start_;
+  Fields config_;
+  std::vector<Fields> points_;
+};
 
 struct SolverSeries {
   std::string label;
@@ -77,6 +145,27 @@ inline void print_scaling_table(const char* title, const std::vector<int>& gpu_c
     }
     std::printf("\n");
   }
+}
+
+// record one scaling table's results as JSON points (one per series x count)
+inline void record_scaling_points(BenchJson& json, const char* table,
+                                  const std::vector<int>& gpu_counts,
+                                  const std::vector<SolverSeries>& series,
+                                  const std::vector<std::vector<parallel::ModeledSolverResult>>&
+                                      results /* [series][point] */) {
+  for (std::size_t s = 0; s < series.size(); ++s)
+    for (std::size_t p = 0; p < gpu_counts.size(); ++p) {
+      const auto& r = results[s][p];
+      json.point();
+      json.field("table", table);
+      json.field("series", series[s].label);
+      json.field("gpus", static_cast<double>(gpu_counts[p]));
+      json.field("fits", static_cast<double>(r.fits));
+      if (r.fits) {
+        json.field("gflops", r.effective_gflops);
+        json.field("time_us", r.time_us);
+      }
+    }
 }
 
 } // namespace quda::bench

@@ -12,34 +12,101 @@
 // operator's global_sum hook, which the parallel operator implements with
 // QMP/MPI reductions -- the only solver-level change multi-GPU required,
 // Section VI-E).
+//
+// Execution: every kernel runs through the host execution engine
+// (exec/host_engine.h).  Element-wise kernels on the norm-free precisions
+// (double/single) take a raw-span fast path: for a site range [b, e) each
+// component block of the QUDA layout is one contiguous run of nvec*(e-b)
+// reals, so the inner loops are plain stride-1 array sweeps the compiler can
+// vectorize.  The per-component arithmetic is written in exactly the seed's
+// operation order, so the fast path is bit-identical to the historical
+// load/store loop.  Reductions never use raw spans: they accumulate in
+// site-major load() order inside fixed-shape chunks (see the determinism
+// contract in exec/host_engine.h).
 
+#include "exec/host_engine.h"
 #include "lattice/spinor_field.h"
 #include "su3/gamma.h"
 
 #include <cstdint>
+#include <cstring>
 
 namespace quda::blas {
 
+namespace detail {
+
+// raw spans in x address the same (site, component) elements of y only when
+// the body layouts agree exactly
+inline bool same_body(const BlockLayout& a, const BlockLayout& b) {
+  return a.sites == b.sites && a.pad == b.pad && a.nint == b.nint && a.nvec == b.nvec;
+}
+
+// Invoke fn(off, len) once per component block j of the layout, where the
+// raw elements [off, off+len) hold components [j*nvec, (j+1)*nvec) of sites
+// [b, e) -- contiguous by BlockLayout::index.  Real/imaginary parts
+// alternate within a span (nvec is even), starting on an even k.
+template <typename Fn>
+inline void for_block_spans(const BlockLayout& l, std::int64_t b, std::int64_t e, Fn&& fn) {
+  const std::int64_t len = std::int64_t(l.nvec) * (e - b);
+  const std::int64_t step = std::int64_t(l.nvec) * l.stride();
+  std::int64_t off = std::int64_t(l.nvec) * b;
+  for (int j = 0; j < l.blocks(); ++j, off += step) fn(off, len);
+}
+
+// partial sums of the fused r-update reduction pair
+struct RUpdatePartial {
+  double r2 = 0;
+  complexd rho{};
+  RUpdatePartial& operator+=(const RUpdatePartial& o) {
+    r2 += o.r2;
+    rho += o.rho;
+    return *this;
+  }
+};
+
+} // namespace detail
+
 template <typename P> void copy(SpinorField<P>& dst, const SpinorField<P>& src) {
-  for (std::int64_t i = 0; i < src.sites(); ++i) dst.store(i, src.load(i));
+  if constexpr (!P::has_norm) {
+    if (detail::same_body(dst.layout(), src.layout())) {
+      using store_t = typename P::store_t;
+      exec::parallel_for(0, src.sites(), exec::kBlasGrain, [&](std::int64_t b, std::int64_t e) {
+        const store_t* __restrict s = src.raw_data().data();
+        store_t* __restrict d = dst.raw_data().data();
+        detail::for_block_spans(src.layout(), b, e, [&](std::int64_t off, std::int64_t len) {
+          std::memcpy(d + off, s + off, static_cast<std::size_t>(len) * sizeof(store_t));
+        });
+      });
+      return;
+    }
+  }
+  exec::parallel_for(0, src.sites(), exec::kBlasGrain, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) dst.store(i, src.load(i));
+  });
 }
 
 template <typename P> double norm2(const SpinorField<P>& x) {
-  double n = 0;
-  for (std::int64_t i = 0; i < x.sites(); ++i) {
-    const auto s = x.load(i);
-    n += static_cast<double>(quda::norm2(s));
-  }
-  return n;
+  return exec::parallel_reduce<double>(
+      0, x.sites(), exec::kBlasGrain, [&](std::int64_t b, std::int64_t e) {
+        double n = 0;
+        for (std::int64_t i = b; i < e; ++i) {
+          const auto s = x.load(i);
+          n += static_cast<double>(quda::norm2(s));
+        }
+        return n;
+      });
 }
 
 template <typename P> complexd cdot(const SpinorField<P>& a, const SpinorField<P>& b) {
-  complexd d{};
-  for (std::int64_t i = 0; i < a.sites(); ++i) {
-    const auto da = dot(a.load(i), b.load(i));
-    d += complexd(static_cast<double>(da.re), static_cast<double>(da.im));
-  }
-  return d;
+  return exec::parallel_reduce<complexd>(
+      0, a.sites(), exec::kBlasGrain, [&](std::int64_t lo, std::int64_t hi) {
+        complexd d{};
+        for (std::int64_t i = lo; i < hi; ++i) {
+          const auto da = dot(a.load(i), b.load(i));
+          d += complexd(static_cast<double>(da.re), static_cast<double>(da.im));
+        }
+        return d;
+      });
 }
 
 // y += a * x
@@ -47,11 +114,26 @@ template <typename P>
 void axpy(double a, const SpinorField<P>& x, SpinorField<P>& y) {
   using real_t = typename P::real_t;
   const real_t ar = static_cast<real_t>(a);
-  for (std::int64_t i = 0; i < x.sites(); ++i) {
-    auto yi = y.load(i);
-    yi += x.load(i) * ar;
-    y.store(i, yi);
+  if constexpr (!P::has_norm) {
+    if (detail::same_body(x.layout(), y.layout())) {
+      using store_t = typename P::store_t;
+      exec::parallel_for(0, x.sites(), exec::kBlasGrain, [&](std::int64_t b, std::int64_t e) {
+        const store_t* __restrict xs = x.raw_data().data();
+        store_t* __restrict ys = y.raw_data().data();
+        detail::for_block_spans(x.layout(), b, e, [&](std::int64_t off, std::int64_t len) {
+          for (std::int64_t k = 0; k < len; ++k) ys[off + k] += xs[off + k] * ar;
+        });
+      });
+      return;
+    }
   }
+  exec::parallel_for(0, x.sites(), exec::kBlasGrain, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) {
+      auto yi = y.load(i);
+      yi += x.load(i) * ar;
+      y.store(i, yi);
+    }
+  });
 }
 
 // y = x + a * y
@@ -59,24 +141,57 @@ template <typename P>
 void xpay(const SpinorField<P>& x, double a, SpinorField<P>& y) {
   using real_t = typename P::real_t;
   const real_t ar = static_cast<real_t>(a);
-  for (std::int64_t i = 0; i < x.sites(); ++i) {
-    auto yi = y.load(i);
-    yi *= ar;
-    yi += x.load(i);
-    y.store(i, yi);
+  if constexpr (!P::has_norm) {
+    if (detail::same_body(x.layout(), y.layout())) {
+      using store_t = typename P::store_t;
+      exec::parallel_for(0, x.sites(), exec::kBlasGrain, [&](std::int64_t b, std::int64_t e) {
+        const store_t* __restrict xs = x.raw_data().data();
+        store_t* __restrict ys = y.raw_data().data();
+        detail::for_block_spans(x.layout(), b, e, [&](std::int64_t off, std::int64_t len) {
+          for (std::int64_t k = 0; k < len; ++k) ys[off + k] = ys[off + k] * ar + xs[off + k];
+        });
+      });
+      return;
+    }
   }
+  exec::parallel_for(0, x.sites(), exec::kBlasGrain, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) {
+      auto yi = y.load(i);
+      yi *= ar;
+      yi += x.load(i);
+      y.store(i, yi);
+    }
+  });
 }
 
 // y = a * x + b * y
 template <typename P>
 void axpby(double a, const SpinorField<P>& x, double b, SpinorField<P>& y) {
   using real_t = typename P::real_t;
-  for (std::int64_t i = 0; i < x.sites(); ++i) {
-    auto yi = y.load(i);
-    yi *= static_cast<real_t>(b);
-    yi += x.load(i) * static_cast<real_t>(a);
-    y.store(i, yi);
+  const real_t ar = static_cast<real_t>(a);
+  const real_t br = static_cast<real_t>(b);
+  if constexpr (!P::has_norm) {
+    if (detail::same_body(x.layout(), y.layout())) {
+      using store_t = typename P::store_t;
+      exec::parallel_for(0, x.sites(), exec::kBlasGrain, [&](std::int64_t lo, std::int64_t hi) {
+        const store_t* __restrict xs = x.raw_data().data();
+        store_t* __restrict ys = y.raw_data().data();
+        detail::for_block_spans(x.layout(), lo, hi, [&](std::int64_t off, std::int64_t len) {
+          for (std::int64_t k = 0; k < len; ++k)
+            ys[off + k] = ys[off + k] * br + xs[off + k] * ar;
+        });
+      });
+      return;
+    }
   }
+  exec::parallel_for(0, x.sites(), exec::kBlasGrain, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) {
+      auto yi = y.load(i);
+      yi *= br;
+      yi += x.load(i) * ar;
+      y.store(i, yi);
+    }
+  });
 }
 
 // y += a * x, complex a
@@ -84,13 +199,33 @@ template <typename P>
 void caxpy(const complexd& a, const SpinorField<P>& x, SpinorField<P>& y) {
   using real_t = typename P::real_t;
   const Complex<real_t> ar(static_cast<real_t>(a.re), static_cast<real_t>(a.im));
-  for (std::int64_t i = 0; i < x.sites(); ++i) {
-    auto yi = y.load(i);
-    auto xi = x.load(i);
-    xi *= ar;
-    yi += xi;
-    y.store(i, yi);
+  if constexpr (!P::has_norm) {
+    if (detail::same_body(x.layout(), y.layout())) {
+      using store_t = typename P::store_t;
+      exec::parallel_for(0, x.sites(), exec::kBlasGrain, [&](std::int64_t lo, std::int64_t hi) {
+        const store_t* __restrict xs = x.raw_data().data();
+        store_t* __restrict ys = y.raw_data().data();
+        detail::for_block_spans(x.layout(), lo, hi, [&](std::int64_t off, std::int64_t len) {
+          for (std::int64_t k = 0; k < len; k += 2) {
+            const store_t xr = xs[off + k];
+            const store_t xi = xs[off + k + 1];
+            ys[off + k] += xr * ar.re - xi * ar.im;
+            ys[off + k + 1] += xr * ar.im + xi * ar.re;
+          }
+        });
+      });
+      return;
+    }
   }
+  exec::parallel_for(0, x.sites(), exec::kBlasGrain, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) {
+      auto yi = y.load(i);
+      auto xi = x.load(i);
+      xi *= ar;
+      yi += xi;
+      y.store(i, yi);
+    }
+  });
 }
 
 // fused: y += a*x, then return ||y||^2 (QUDA's axpyNorm)
@@ -98,27 +233,33 @@ template <typename P>
 double axpy_norm(double a, const SpinorField<P>& x, SpinorField<P>& y) {
   using real_t = typename P::real_t;
   const real_t ar = static_cast<real_t>(a);
-  double n = 0;
-  for (std::int64_t i = 0; i < x.sites(); ++i) {
-    auto yi = y.load(i);
-    yi += x.load(i) * ar;
-    y.store(i, yi);
-    n += static_cast<double>(quda::norm2(yi));
-  }
-  return n;
+  return exec::parallel_reduce<double>(
+      0, x.sites(), exec::kBlasGrain, [&](std::int64_t lo, std::int64_t hi) {
+        double n = 0;
+        for (std::int64_t i = lo; i < hi; ++i) {
+          auto yi = y.load(i);
+          yi += x.load(i) * ar;
+          y.store(i, yi);
+          n += static_cast<double>(quda::norm2(yi));
+        }
+        return n;
+      });
 }
 
 // fused: y = x - y, then return ||y||^2 (QUDA's xmyNorm)
 template <typename P>
 double xmy_norm(const SpinorField<P>& x, SpinorField<P>& y) {
-  double n = 0;
-  for (std::int64_t i = 0; i < x.sites(); ++i) {
-    auto yi = x.load(i);
-    yi -= y.load(i);
-    y.store(i, yi);
-    n += static_cast<double>(quda::norm2(yi));
-  }
-  return n;
+  return exec::parallel_reduce<double>(
+      0, x.sites(), exec::kBlasGrain, [&](std::int64_t lo, std::int64_t hi) {
+        double n = 0;
+        for (std::int64_t i = lo; i < hi; ++i) {
+          auto yi = x.load(i);
+          yi -= y.load(i);
+          y.store(i, yi);
+          n += static_cast<double>(quda::norm2(yi));
+        }
+        return n;
+      });
 }
 
 // fused BiCGstab search-direction update: p = r + beta * (p - omega * v)
@@ -129,15 +270,42 @@ void bicgstab_p_update(SpinorField<P>& p, const SpinorField<P>& r, const SpinorF
   const Complex<real_t> b(static_cast<real_t>(beta.re), static_cast<real_t>(beta.im));
   const Complex<real_t> bw(static_cast<real_t>((beta * omega).re),
                            static_cast<real_t>((beta * omega).im));
-  for (std::int64_t i = 0; i < p.sites(); ++i) {
-    auto pi = p.load(i);
-    auto vi = v.load(i);
-    vi *= bw;
-    pi *= b;
-    pi -= vi;
-    pi += r.load(i);
-    p.store(i, pi);
+  if constexpr (!P::has_norm) {
+    if (detail::same_body(p.layout(), r.layout()) && detail::same_body(p.layout(), v.layout())) {
+      using store_t = typename P::store_t;
+      exec::parallel_for(0, p.sites(), exec::kBlasGrain, [&](std::int64_t lo, std::int64_t hi) {
+        store_t* __restrict ps = p.raw_data().data();
+        const store_t* __restrict rs = r.raw_data().data();
+        const store_t* __restrict vs = v.raw_data().data();
+        detail::for_block_spans(p.layout(), lo, hi, [&](std::int64_t off, std::int64_t len) {
+          for (std::int64_t k = 0; k < len; k += 2) {
+            const store_t pr = ps[off + k];
+            const store_t pi = ps[off + k + 1];
+            const store_t vr = vs[off + k];
+            const store_t vi = vs[off + k + 1];
+            const store_t vbr = vr * bw.re - vi * bw.im;
+            const store_t vbi = vr * bw.im + vi * bw.re;
+            const store_t pbr = pr * b.re - pi * b.im;
+            const store_t pbi = pr * b.im + pi * b.re;
+            ps[off + k] = pbr - vbr + rs[off + k];
+            ps[off + k + 1] = pbi - vbi + rs[off + k + 1];
+          }
+        });
+      });
+      return;
+    }
   }
+  exec::parallel_for(0, p.sites(), exec::kBlasGrain, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) {
+      auto pi = p.load(i);
+      auto vi = v.load(i);
+      vi *= bw;
+      pi *= b;
+      pi -= vi;
+      pi += r.load(i);
+      p.store(i, pi);
+    }
+  });
 }
 
 // fused BiCGstab solution update: x += alpha * p + omega * s
@@ -147,16 +315,39 @@ void bicgstab_x_update(SpinorField<P>& x, const complexd& alpha, const SpinorFie
   using real_t = typename P::real_t;
   const Complex<real_t> a(static_cast<real_t>(alpha.re), static_cast<real_t>(alpha.im));
   const Complex<real_t> w(static_cast<real_t>(omega.re), static_cast<real_t>(omega.im));
-  for (std::int64_t i = 0; i < x.sites(); ++i) {
-    auto xi = x.load(i);
-    auto pi = p.load(i);
-    auto si = s.load(i);
-    pi *= a;
-    si *= w;
-    xi += pi;
-    xi += si;
-    x.store(i, xi);
+  if constexpr (!P::has_norm) {
+    if (detail::same_body(x.layout(), p.layout()) && detail::same_body(x.layout(), s.layout())) {
+      using store_t = typename P::store_t;
+      exec::parallel_for(0, x.sites(), exec::kBlasGrain, [&](std::int64_t lo, std::int64_t hi) {
+        store_t* __restrict xs = x.raw_data().data();
+        const store_t* __restrict ps = p.raw_data().data();
+        const store_t* __restrict ss = s.raw_data().data();
+        detail::for_block_spans(x.layout(), lo, hi, [&](std::int64_t off, std::int64_t len) {
+          for (std::int64_t k = 0; k < len; k += 2) {
+            const store_t pr = ps[off + k];
+            const store_t pi = ps[off + k + 1];
+            const store_t sr = ss[off + k];
+            const store_t si = ss[off + k + 1];
+            xs[off + k] = xs[off + k] + (pr * a.re - pi * a.im) + (sr * w.re - si * w.im);
+            xs[off + k + 1] = xs[off + k + 1] + (pr * a.im + pi * a.re) + (sr * w.im + si * w.re);
+          }
+        });
+      });
+      return;
+    }
   }
+  exec::parallel_for(0, x.sites(), exec::kBlasGrain, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) {
+      auto xi = x.load(i);
+      auto pi = p.load(i);
+      auto si = s.load(i);
+      pi *= a;
+      si *= w;
+      xi += pi;
+      xi += si;
+      x.store(i, xi);
+    }
+  });
 }
 
 // fused: r = s - omega * t, returning <r, r> and <r, r0> for the next
@@ -167,26 +358,32 @@ void bicgstab_r_update(SpinorField<P>& r, const SpinorField<P>& s, const SpinorF
                        const SpinorField<P>& r0) {
   using real_t = typename P::real_t;
   const Complex<real_t> w(static_cast<real_t>(omega.re), static_cast<real_t>(omega.im));
-  r2 = 0;
-  rho_next = complexd{};
-  for (std::int64_t i = 0; i < r.sites(); ++i) {
-    auto ti = t.load(i);
-    ti *= w;
-    auto ri = s.load(i);
-    ri -= ti;
-    r.store(i, ri);
-    r2 += static_cast<double>(quda::norm2(ri));
-    const auto d = dot(r0.load(i), ri);
-    rho_next += complexd(static_cast<double>(d.re), static_cast<double>(d.im));
-  }
+  const auto acc = exec::parallel_reduce<detail::RUpdatePartial>(
+      0, r.sites(), exec::kBlasGrain, [&](std::int64_t lo, std::int64_t hi) {
+        detail::RUpdatePartial part;
+        for (std::int64_t i = lo; i < hi; ++i) {
+          auto ti = t.load(i);
+          ti *= w;
+          auto ri = s.load(i);
+          ri -= ti;
+          r.store(i, ri);
+          part.r2 += static_cast<double>(quda::norm2(ri));
+          const auto d = dot(r0.load(i), ri);
+          part.rho += complexd(static_cast<double>(d.re), static_cast<double>(d.im));
+        }
+        return part;
+      });
+  r2 = acc.r2;
+  rho_next = acc.rho;
 }
 
 // out = gamma_5 in (aliasing-safe: pointwise in spin)
 template <typename P>
 void apply_gamma5(SpinorField<P>& out, const SpinorField<P>& in) {
   const SpinMatrix& g5 = gamma5(GammaBasis::NonRelativistic);
-  for (std::int64_t i = 0; i < in.sites(); ++i)
-    out.store(i, apply_spin(g5, in.load(i)));
+  exec::parallel_for(0, in.sites(), exec::kBlasGrain, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) out.store(i, apply_spin(g5, in.load(i)));
+  });
 }
 
 } // namespace quda::blas

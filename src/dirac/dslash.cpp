@@ -1,5 +1,7 @@
 #include "dirac/dslash.h"
 
+#include "exec/host_engine.h"
+
 #include <cassert>
 
 namespace quda {
@@ -31,7 +33,8 @@ void dslash(SpinorField<P>& out, const GaugeField<P>& gauge, const SpinorField<P
   const Parity out_parity = opt.out_parity;
   const Parity in_parity = other(out_parity);
 
-  for (std::int64_t cb = cb_begin; cb < cb_end; ++cb) {
+  exec::parallel_for(cb_begin, cb_end, exec::kSiteGrain, [&](std::int64_t lo, std::int64_t hi) {
+  for (std::int64_t cb = lo; cb < hi; ++cb) {
     const Coords x = g.cb_coords(out_parity, cb);
     if (region != KernelRegion::All) {
       const bool boundary = on_partitioned_edge(x, g.dims(), opt.ghost);
@@ -93,6 +96,7 @@ void dslash(SpinorField<P>& out, const GaugeField<P>& gauge, const SpinorField<P
       out.store(cb, acc);
     }
   }
+  });
 }
 
 template <typename P>
@@ -104,7 +108,8 @@ void apply_clover_xpay(SpinorField<P>& out, const CloverField<P>& clover, Parity
   const SpinMatrix& w = chiral_transform();
   const SpinMatrix wd = adjoint(w);
 
-  for (std::int64_t cb = cb_begin; cb < cb_end; ++cb) {
+  exec::parallel_for(cb_begin, cb_end, exec::kSiteGrain, [&](std::int64_t lo, std::int64_t hi) {
+  for (std::int64_t cb = lo; cb < hi; ++cb) {
     const CloverSite<real_t> site = clover.load(parity, cb);
     const Spinor<real_t> xin = x.load(cb);
     // chi = W^dag x; block apply; eta = W (B chi)
@@ -126,6 +131,7 @@ void apply_clover_xpay(SpinorField<P>& out, const CloverField<P>& clover, Parity
     }
     out.store(cb, res);
   }
+  });
 }
 
 // --- face exchange -----------------------------------------------------------
@@ -138,7 +144,8 @@ void pack_face(const SpinorField<P>& field, const Geometry& g, Parity field_pari
   const std::int64_t nf = g.face_sites(mu);
   buf.resize(nf);
 
-  for (std::int64_t fs = 0; fs < nf; ++fs) {
+  exec::parallel_for(0, nf, exec::kFaceGrain, [&](std::int64_t lo, std::int64_t hi) {
+  for (std::int64_t fs = lo; fs < hi; ++fs) {
     const Coords c = g.face_site_coords(mu, field_parity, slice, fs);
     const HalfSpinor<real_t> h = project(mu, sign, field.load(g.cb_index(c)));
 
@@ -166,6 +173,7 @@ void pack_face(const SpinorField<P>& field, const Geometry& g, Parity field_pari
         }
       }
   }
+  });
 }
 
 template <typename P>
@@ -175,7 +183,8 @@ void unpack_ghost(SpinorField<P>& field, const Geometry& g, int mu, GhostFace fa
   const std::int64_t nf = g.face_sites(mu);
   assert(std::int64_t(buf.data.size()) == nf * 12);
 
-  for (std::int64_t fs = 0; fs < nf; ++fs) {
+  exec::parallel_for(0, nf, exec::kFaceGrain, [&](std::int64_t lo, std::int64_t hi) {
+  for (std::int64_t fs = lo; fs < hi; ++fs) {
     HalfSpinor<real_t> h;
     float norm = 1.0f;
     if constexpr (P::has_norm) norm = buf.norm[static_cast<std::size_t>(fs)];
@@ -195,6 +204,7 @@ void unpack_ghost(SpinorField<P>& field, const Geometry& g, int mu, GhostFace fa
       }
     field.store_ghost(mu, face, fs, h, norm);
   }
+  });
 }
 
 template <typename P>
@@ -207,7 +217,8 @@ void pack_gauge_face(const GaugeField<P>& gauge, const Geometry& g, int mu, int 
 
   for (int par = 0; par < 2; ++par) {
     const Parity parity = par == 0 ? Parity::Even : Parity::Odd;
-    for (std::int64_t fs = 0; fs < nf; ++fs) {
+    exec::parallel_for(0, nf, exec::kFaceGrain, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t fs = lo; fs < hi; ++fs) {
       const Coords c = g.face_site_coords(mu, parity, slice, fs);
       const SU3<real_t> u = gauge.load(mu, parity, g.cb_index(c));
       std::size_t k = static_cast<std::size_t>((par * nf + fs) * 18);
@@ -222,6 +233,7 @@ void pack_gauge_face(const GaugeField<P>& gauge, const Geometry& g, int mu, int 
           }
         }
     }
+    });
   }
 }
 
@@ -233,7 +245,8 @@ void unpack_gauge_ghost(GaugeField<P>& gauge, const Geometry& g, int mu,
 
   for (int par = 0; par < 2; ++par) {
     const Parity parity = par == 0 ? Parity::Even : Parity::Odd;
-    for (std::int64_t fs = 0; fs < nf; ++fs) {
+    exec::parallel_for(0, nf, exec::kFaceGrain, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t fs = lo; fs < hi; ++fs) {
       SU3<double> u;
       std::size_t k = static_cast<std::size_t>((par * nf + fs) * 18);
       for (std::size_t r = 0; r < 3; ++r)
@@ -251,6 +264,7 @@ void unpack_gauge_ghost(GaugeField<P>& gauge, const Geometry& g, int mu,
         }
       gauge.store_ghost(mu, parity, fs, u);
     }
+    });
   }
 }
 

@@ -6,6 +6,7 @@
 // are contiguous on the device (Section II).
 
 #include "dirac/clover_term.h"
+#include "exec/host_engine.h"
 #include "lattice/clover_field.h"
 #include "lattice/gauge_field.h"
 #include "lattice/host_field.h"
@@ -18,20 +19,24 @@ SpinorField<P> upload_spinor(const HostSpinorField& host, Parity parity,
                              const PartitionMask& mask = kPartitionTimeOnly) {
   const Geometry& g = host.geom();
   SpinorField<P> dev(g, mask);
-  for (std::int64_t cb = 0; cb < g.half_volume(); ++cb) {
-    const Coords c = g.cb_coords(parity, cb);
-    dev.store(cb, convert<typename P::real_t>(host.at(c)));
-  }
+  exec::parallel_for(0, g.half_volume(), exec::kBlasGrain, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t cb = b; cb < e; ++cb) {
+      const Coords c = g.cb_coords(parity, cb);
+      dev.store(cb, convert<typename P::real_t>(host.at(c)));
+    }
+  });
   return dev;
 }
 
 template <typename P>
 void download_spinor(const SpinorField<P>& dev, Parity parity, HostSpinorField& host) {
   const Geometry& g = host.geom();
-  for (std::int64_t cb = 0; cb < g.half_volume(); ++cb) {
-    const Coords c = g.cb_coords(parity, cb);
-    host.at(c) = convert<double>(dev.load(cb));
-  }
+  exec::parallel_for(0, g.half_volume(), exec::kBlasGrain, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t cb = b; cb < e; ++cb) {
+      const Coords c = g.cb_coords(parity, cb);
+      host.at(c) = convert<double>(dev.load(cb));
+    }
+  });
 }
 
 template <typename P>
@@ -40,10 +45,12 @@ GaugeField<P> upload_gauge(const HostGaugeField& host, Reconstruct recon) {
   GaugeField<P> dev(g, recon);
   for (int par = 0; par < 2; ++par) {
     const Parity parity = par == 0 ? Parity::Even : Parity::Odd;
-    for (std::int64_t cb = 0; cb < g.half_volume(); ++cb) {
-      const Coords c = g.cb_coords(parity, cb);
-      for (int mu = 0; mu < 4; ++mu) dev.store(mu, parity, cb, host.link(mu, c));
-    }
+    exec::parallel_for(0, g.half_volume(), exec::kBlasGrain, [&](std::int64_t b, std::int64_t e) {
+      for (std::int64_t cb = b; cb < e; ++cb) {
+        const Coords c = g.cb_coords(parity, cb);
+        for (int mu = 0; mu < 4; ++mu) dev.store(mu, parity, cb, host.link(mu, c));
+      }
+    });
   }
   return dev;
 }
@@ -53,10 +60,12 @@ template <typename P> CloverField<P> upload_clover(const HostCloverField& host) 
   CloverField<P> dev(g);
   for (int par = 0; par < 2; ++par) {
     const Parity parity = par == 0 ? Parity::Even : Parity::Odd;
-    for (std::int64_t cb = 0; cb < g.half_volume(); ++cb) {
-      const Coords c = g.cb_coords(parity, cb);
-      dev.store(parity, cb, host[g.linear_index(c)]);
-    }
+    exec::parallel_for(0, g.half_volume(), exec::kBlasGrain, [&](std::int64_t b, std::int64_t e) {
+      for (std::int64_t cb = b; cb < e; ++cb) {
+        const Coords c = g.cb_coords(parity, cb);
+        dev.store(parity, cb, host[g.linear_index(c)]);
+      }
+    });
   }
   return dev;
 }

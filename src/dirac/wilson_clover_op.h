@@ -14,6 +14,7 @@
 // code path serves both discretizations.
 
 #include "dirac/dslash.h"
+#include "exec/host_engine.h"
 #include "solvers/linear_operator.h"
 
 namespace quda {
@@ -104,7 +105,10 @@ private:
   }
 
   void copy_spinor(SpinorField<P>& dst, const SpinorField<P>& src) {
-    for (std::int64_t i = 0; i < geom_.half_volume(); ++i) dst.store(i, src.load(i));
+    exec::parallel_for(0, geom_.half_volume(), exec::kBlasGrain,
+                       [&](std::int64_t b, std::int64_t e) {
+                         for (std::int64_t i = b; i < e; ++i) dst.store(i, src.load(i));
+                       });
   }
 
   Geometry geom_;

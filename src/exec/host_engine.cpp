@@ -1,0 +1,188 @@
+#include "exec/host_engine.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+namespace quda::exec {
+
+namespace {
+
+// one parallel_for/parallel_reduce invocation in flight on the pool
+struct Batch {
+  std::int64_t num_chunks = 0;
+  const std::function<void(std::int64_t)>* task = nullptr;
+  std::atomic<std::int64_t> next{0};
+  std::atomic<std::int64_t> completed{0};
+  std::mutex m;
+  std::condition_variable done;
+  std::exception_ptr error; // first chunk exception, guarded by m
+
+  bool exhausted() const { return next.load() >= num_chunks; }
+  bool finished() const { return completed.load() == num_chunks; }
+};
+
+// set while this thread is executing chunk bodies (worker or participating
+// caller): nested parallel regions run inline instead of re-entering the pool
+thread_local bool t_in_chunk = false;
+
+int read_env_budget() {
+  if (const char* env = std::getenv("QUDA_SIM_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v >= 1) return static_cast<int>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw >= 1 ? static_cast<int>(hw) : 1;
+}
+
+class Pool {
+public:
+  static Pool& instance() {
+    static Pool pool;
+    return pool;
+  }
+
+  int budget() {
+    std::lock_guard<std::mutex> lock(config_m_);
+    if (budget_ <= 0) budget_ = read_env_budget();
+    return budget_;
+  }
+
+  void set_budget(int n) {
+    stop_workers();
+    std::lock_guard<std::mutex> lock(config_m_);
+    budget_ = n >= 1 ? n : read_env_budget();
+  }
+
+  // submit a batch, help execute it, and block until every chunk completed
+  void run(const std::shared_ptr<Batch>& batch) {
+    ensure_workers();
+    {
+      std::lock_guard<std::mutex> lock(queue_m_);
+      queue_.push_back(batch);
+    }
+    queue_cv_.notify_all();
+
+    participate(*batch);
+
+    { // all chunks are claimed; drop the batch from the work queue
+      std::lock_guard<std::mutex> lock(queue_m_);
+      for (auto it = queue_.begin(); it != queue_.end(); ++it)
+        if (it->get() == batch.get()) {
+          queue_.erase(it);
+          break;
+        }
+    }
+    std::unique_lock<std::mutex> lock(batch->m);
+    batch->done.wait(lock, [&] { return batch->finished(); });
+    if (batch->error) std::rethrow_exception(batch->error);
+  }
+
+  ~Pool() { stop_workers(); }
+
+private:
+  Pool() = default;
+
+  void ensure_workers() {
+    std::lock_guard<std::mutex> lock(config_m_);
+    if (budget_ <= 0) budget_ = read_env_budget();
+    const int want = budget_ - 1;
+    if (static_cast<int>(workers_.size()) >= want) return;
+    while (static_cast<int>(workers_.size()) < want)
+      workers_.emplace_back([this] { worker_loop(); });
+  }
+
+  void stop_workers() {
+    {
+      std::lock_guard<std::mutex> lock(queue_m_);
+      stop_ = true;
+    }
+    queue_cv_.notify_all();
+    for (std::thread& w : workers_)
+      if (w.joinable()) w.join();
+    workers_.clear();
+    std::lock_guard<std::mutex> lock(queue_m_);
+    stop_ = false;
+  }
+
+  // claim and run chunks until the batch has none left to hand out
+  static void participate(Batch& batch) {
+    t_in_chunk = true;
+    for (;;) {
+      const std::int64_t c = batch.next.fetch_add(1);
+      if (c >= batch.num_chunks) break;
+      try {
+        (*batch.task)(c);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(batch.m);
+        if (!batch.error) batch.error = std::current_exception();
+      }
+      if (batch.completed.fetch_add(1) + 1 == batch.num_chunks) {
+        std::lock_guard<std::mutex> lock(batch.m);
+        batch.done.notify_all();
+      }
+    }
+    t_in_chunk = false;
+  }
+
+  std::shared_ptr<Batch> find_work_locked() {
+    for (const auto& b : queue_)
+      if (!b->exhausted()) return b;
+    return nullptr;
+  }
+
+  void worker_loop() {
+    for (;;) {
+      std::shared_ptr<Batch> batch;
+      {
+        std::unique_lock<std::mutex> lock(queue_m_);
+        queue_cv_.wait(lock, [&] { return stop_ || find_work_locked() != nullptr; });
+        if (stop_) return;
+        batch = find_work_locked();
+      }
+      if (batch) participate(*batch);
+    }
+  }
+
+  std::mutex config_m_;
+  int budget_ = 0; // 0 = not yet read from the environment
+  std::vector<std::thread> workers_;
+
+  std::mutex queue_m_;
+  std::condition_variable queue_cv_;
+  std::deque<std::shared_ptr<Batch>> queue_;
+  bool stop_ = false;
+};
+
+} // namespace
+
+int thread_budget() { return Pool::instance().budget(); }
+
+void set_thread_budget(int n) { Pool::instance().set_budget(n); }
+
+namespace detail {
+
+void run_chunks(std::int64_t num_chunks, const std::function<void(std::int64_t)>& task) {
+  if (num_chunks <= 0) return;
+  Pool& pool = Pool::instance();
+  // serial fallback: budget 1 (the historical code path), a single chunk,
+  // or a nested region from inside a running chunk -- all run inline, in
+  // chunk-index order
+  if (num_chunks == 1 || t_in_chunk || pool.budget() == 1) {
+    for (std::int64_t c = 0; c < num_chunks; ++c) task(c);
+    return;
+  }
+  auto batch = std::make_shared<Batch>();
+  batch->num_chunks = num_chunks;
+  batch->task = &task;
+  pool.run(batch);
+}
+
+} // namespace detail
+
+} // namespace quda::exec

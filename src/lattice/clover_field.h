@@ -51,15 +51,30 @@ public:
     real_t scale = 1;
     if constexpr (P::has_norm)
       scale = norm_[static_cast<std::size_t>(parity_int(parity) * layout_.sites + cb)];
+    // incremental walk over the blocked layout: idx + w tracks
+    // layout_.index(cb, n) as n advances sequentially through the 72 reals
     CloverSite<real_t> site;
-    int n = 0;
+    const int nvec = layout_.nvec;
+    const std::int64_t bstep = std::int64_t(nvec) * layout_.stride();
+    std::int64_t idx = base + std::int64_t(nvec) * cb;
+    int w = 0;
+    const auto advance = [&](int by) {
+      w += by;
+      if (w == nvec) {
+        w = 0;
+        idx += bstep;
+      }
+    };
     for (int b = 0; b < 2; ++b) {
-      for (int d = 0; d < 6; ++d) site.block[b].diag[d] = raw(base + layout_.index(cb, n++)) * scale;
+      for (int d = 0; d < 6; ++d) {
+        site.block[b].diag[d] = raw(idx + w) * scale;
+        advance(1);
+      }
       for (int o = 0; o < 15; ++o) {
-        const real_t re = raw(base + layout_.index(cb, n)) * scale;
-        const real_t im = raw(base + layout_.index(cb, n + 1)) * scale;
+        const real_t re = raw(idx + w) * scale;
+        const real_t im = raw(idx + w + 1) * scale;
         site.block[b].lower[o] = Complex<real_t>(re, im);
-        n += 2;
+        advance(2);
       }
     }
     return site;

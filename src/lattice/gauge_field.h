@@ -114,15 +114,25 @@ private:
            parity_int(parity) * layouts_[static_cast<std::size_t>(mu)].body_size();
   }
 
+  // load_at/store_at walk the blocked layout incrementally (idx + w inside
+  // the current short vector, idx stepping one block stride when it fills),
+  // matching l.index(x, n) without per-component integer division
   SU3<real_t> load_at(int mu, std::int64_t base, std::int64_t x) const {
     const BlockLayout& l = layouts_[static_cast<std::size_t>(mu)];
     const int rows = (recon_ == Reconstruct::Twelve) ? 2 : 3;
+    const int nvec = l.nvec;
+    const std::int64_t bstep = std::int64_t(nvec) * l.stride();
+    std::int64_t idx = base + std::int64_t(nvec) * x;
+    int w = 0;
     SU3<real_t> u;
-    int n = 0;
     for (int r = 0; r < rows; ++r)
       for (int c = 0; c < 3; ++c) {
-        u.e[r][c] = Complex<real_t>(raw(base + l.index(x, n)), raw(base + l.index(x, n + 1)));
-        n += 2;
+        u.e[r][c] = Complex<real_t>(raw(idx + w), raw(idx + w + 1));
+        w += 2;
+        if (w == nvec) {
+          w = 0;
+          idx += bstep;
+        }
       }
     if (recon_ == Reconstruct::Twelve) u.e[2] = reconstruct_third_row(u.e[0], u.e[1]);
     return u;
@@ -131,12 +141,19 @@ private:
   void store_at(int mu, std::int64_t base, std::int64_t x, const SU3<double>& u) {
     const BlockLayout& l = layouts_[static_cast<std::size_t>(mu)];
     const int rows = (recon_ == Reconstruct::Twelve) ? 2 : 3;
-    int n = 0;
+    const int nvec = l.nvec;
+    const std::int64_t bstep = std::int64_t(nvec) * l.stride();
+    std::int64_t idx = base + std::int64_t(nvec) * x;
+    int w = 0;
     for (int r = 0; r < rows; ++r)
       for (int c = 0; c < 3; ++c) {
-        set_raw(base + l.index(x, n), static_cast<real_t>(u.e[r][c].re));
-        set_raw(base + l.index(x, n + 1), static_cast<real_t>(u.e[r][c].im));
-        n += 2;
+        set_raw(idx + w, static_cast<real_t>(u.e[r][c].re));
+        set_raw(idx + w + 1, static_cast<real_t>(u.e[r][c].im));
+        w += 2;
+        if (w == nvec) {
+          w = 0;
+          idx += bstep;
+        }
       }
   }
 

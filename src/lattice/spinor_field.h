@@ -12,6 +12,7 @@
 // partitioned dimension.  In half precision the norm array grows its own
 // end zone (one float per face site).
 
+#include "exec/host_engine.h"
 #include "lattice/geometry.h"
 #include "lattice/layout.h"
 #include "lattice/precision.h"
@@ -93,17 +94,28 @@ public:
     return b;
   }
 
+  // load/store walk the blocked layout incrementally: component pairs sit at
+  // idx + w inside the current short vector, and idx jumps one block stride
+  // when the vector is full -- same flat indices as layout_.index(site, n)
+  // without the per-component integer division
   Spinor<real_t> load(std::int64_t site) const {
     assert(site >= 0 && site < layout_.sites);
     Spinor<real_t> s;
     const real_t scale = load_scale(site);
-    int n = 0;
+    const int nvec = layout_.nvec;
+    const std::int64_t bstep = std::int64_t(nvec) * layout_.stride();
+    std::int64_t idx = std::int64_t(nvec) * site;
+    int w = 0;
     for (std::size_t spin = 0; spin < 4; ++spin)
       for (std::size_t c = 0; c < 3; ++c) {
-        const real_t re = raw(layout_.index(site, n)) * scale;
-        const real_t im = raw(layout_.index(site, n + 1)) * scale;
+        const real_t re = raw(idx + w) * scale;
+        const real_t im = raw(idx + w + 1) * scale;
         s.s[spin][c] = Complex<real_t>(re, im);
-        n += 2;
+        w += 2;
+        if (w == nvec) {
+          w = 0;
+          idx += bstep;
+        }
       }
     return s;
   }
@@ -117,12 +129,19 @@ public:
       norm_[static_cast<std::size_t>(site)] = m;
       inv = real_t(1) / m;
     }
-    int n = 0;
+    const int nvec = layout_.nvec;
+    const std::int64_t bstep = std::int64_t(nvec) * layout_.stride();
+    std::int64_t idx = std::int64_t(nvec) * site;
+    int w = 0;
     for (std::size_t spin = 0; spin < 4; ++spin)
       for (std::size_t c = 0; c < 3; ++c) {
-        set_raw(layout_.index(site, n), s.s[spin][c].re * inv);
-        set_raw(layout_.index(site, n + 1), s.s[spin][c].im * inv);
-        n += 2;
+        set_raw(idx + w, s.s[spin][c].re * inv);
+        set_raw(idx + w + 1, s.s[spin][c].im * inv);
+        w += 2;
+        if (w == nvec) {
+          w = 0;
+          idx += bstep;
+        }
       }
   }
 
@@ -255,16 +274,18 @@ using SpinorFieldH = SpinorField<PrecHalf>;
 template <typename PDst, typename PSrc>
 void convert_field(const SpinorField<PSrc>& src, SpinorField<PDst>& dst) {
   assert(src.sites() == dst.sites());
-  for (std::int64_t i = 0; i < src.sites(); ++i) {
-    const auto s = src.load(i);
-    Spinor<typename PDst::real_t> d;
-    for (std::size_t spin = 0; spin < 4; ++spin)
-      for (std::size_t c = 0; c < 3; ++c)
-        d.s[spin][c] = Complex<typename PDst::real_t>(
-            static_cast<typename PDst::real_t>(s.s[spin][c].re),
-            static_cast<typename PDst::real_t>(s.s[spin][c].im));
-    dst.store(i, d);
-  }
+  exec::parallel_for(0, src.sites(), exec::kBlasGrain, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) {
+      const auto s = src.load(i);
+      Spinor<typename PDst::real_t> d;
+      for (std::size_t spin = 0; spin < 4; ++spin)
+        for (std::size_t c = 0; c < 3; ++c)
+          d.s[spin][c] = Complex<typename PDst::real_t>(
+              static_cast<typename PDst::real_t>(s.s[spin][c].re),
+              static_cast<typename PDst::real_t>(s.s[spin][c].im));
+      dst.store(i, d);
+    }
+  });
 }
 
 } // namespace quda

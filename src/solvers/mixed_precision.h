@@ -25,16 +25,7 @@ namespace quda {
 // convert between precision classes through the compute type
 template <typename PDst, typename PSrc>
 void convert_spinor_field(SpinorField<PDst>& dst, const SpinorField<PSrc>& src) {
-  using real_t = typename PDst::real_t;
-  for (std::int64_t i = 0; i < src.sites(); ++i) {
-    const auto s = src.load(i);
-    Spinor<real_t> d;
-    for (std::size_t spin = 0; spin < 4; ++spin)
-      for (std::size_t c = 0; c < 3; ++c)
-        d.s[spin][c] = Complex<real_t>(static_cast<real_t>(s.s[spin][c].re),
-                                       static_cast<real_t>(s.s[spin][c].im));
-    dst.store(i, d);
-  }
+  convert_field(src, dst);
 }
 
 template <typename PHi, typename PLo>
