@@ -9,11 +9,13 @@
 //      the injected fault rates rise.
 // Timing is simulated, so every row is deterministic and reproducible.
 
+#include "bench_util.h"
 #include "parallel/modeled_solver.h"
 
 #include <cstdio>
 
 using namespace quda;
+using bench::BenchJson;
 using parallel::ModeledSolverConfig;
 using parallel::ModeledSolverResult;
 
@@ -33,14 +35,35 @@ ModeledSolverConfig base_config() {
 ModeledSolverResult run(const ModeledSolverConfig& cfg, const sim::FaultConfig& faults) {
   sim::ClusterSpec spec = sim::ClusterSpec::jlab_9g(8);
   spec.faults = faults;
+  spec.trace.enabled = true; // carry halo/retry/overlap metrics into the JSON
   sim::VirtualCluster cluster(spec);
   return parallel::run_modeled_solver(cluster, cfg);
+}
+
+// one JSON point per solve: the printed row plus the aggregated trace metrics
+void record(BenchJson& json, const char* label, double rate, const ModeledSolverResult& r) {
+  json.point();
+  json.field("series", label);
+  json.field("fault_rate", rate);
+  json.field("time_us", r.time_us);
+  json.field("gflops", r.effective_gflops);
+  json.field("drops", static_cast<double>(r.faults.drops));
+  json.field("corruptions", static_cast<double>(r.faults.corruptions));
+  json.field("device_flips", static_cast<double>(r.faults.device_flips));
+  json.field("rollbacks", static_cast<double>(r.rollbacks));
+  json.field("recovery_us", r.faults.recovery_us);
+  if (r.traced) bench::record_metrics(json, r.metrics);
 }
 
 } // namespace
 
 int main() {
   const ModeledSolverConfig cfg = base_config();
+  BenchJson json("fault_resilience");
+  json.config("lattice", "24^3 x 128");
+  json.config("gpus", 8.0);
+  json.config("precision", "single/half");
+  json.config("iterations", static_cast<double>(cfg.iterations));
   std::printf("Fault resilience overhead, modeled 24^3 x 128 on 8 GPUs "
               "(single/half, %d iterations)\n\n",
               cfg.iterations);
@@ -54,6 +77,9 @@ int main() {
   ModeledSolverConfig checked = cfg;
   checked.retry.checksums = true;
   const ModeledSolverResult r_checked = run(checked, no_faults);
+
+  record(json, "baseline", 0.0, r_plain);
+  record(json, "checksums", 0.0, r_checked);
 
   const double overhead =
       (r_checked.time_us - r_plain.time_us) / r_plain.time_us * 100.0;
@@ -82,7 +108,10 @@ int main() {
     std::printf("%-12.0e %10.1f %8ld %8ld %8ld %8ld %10d %12.1f %9.2fx\n", rate, r.time_us,
                 r.faults.drops, r.faults.corruptions, r.faults.device_flips, r.faults.retries,
                 r.rollbacks, r.faults.recovery_us, r.time_us / r_checked.time_us);
+    record(json, "faulted", rate, r);
   }
+  json.config("detection_overhead_pct", overhead);
+  json.write();
 
   std::printf("\nexpected: detection overhead < 5%% at rate 0; recovery cost grows with\n");
   std::printf("the fault rate through retries, backoff, and re-run reliable segments\n");

@@ -97,6 +97,10 @@ inline parallel::ModeledSolverResult run_point(int ranks, LatticeDims global,
                                                int iterations = 100) {
   sim::ClusterSpec spec = sim::ClusterSpec::jlab_9g(ranks);
   spec.good_numa_binding = series.good_numa;
+  // record the event timeline so every point carries trace metrics (halo
+  // bytes, overlap efficiency); QUDA_SIM_TRACE additionally exports the
+  // Chrome JSON timeline of each run
+  spec.trace.enabled = true;
   sim::VirtualCluster cluster(spec);
 
   parallel::ModeledSolverConfig cfg;
@@ -115,6 +119,7 @@ inline parallel::ModeledSolverResult run_weak_point(int ranks, LatticeDims local
                                                     int iterations = 100) {
   sim::ClusterSpec spec = sim::ClusterSpec::jlab_9g(ranks);
   spec.good_numa_binding = series.good_numa;
+  spec.trace.enabled = true;
   sim::VirtualCluster cluster(spec);
 
   parallel::ModeledSolverConfig cfg;
@@ -147,6 +152,21 @@ inline void print_scaling_table(const char* title, const std::vector<int>& gpu_c
   }
 }
 
+// attach the aggregated trace metrics of one run to the current JSON point
+inline void record_metrics(BenchJson& json, const trace::Metrics& m) {
+  json.field("halo_bytes", static_cast<double>(m.halo_bytes));
+  json.field("messages", static_cast<double>(m.messages));
+  json.field("retries", static_cast<double>(m.retries));
+  json.field("comm_us", m.comm_us);
+  json.field("overlapped_comm_us", m.overlapped_us);
+  json.field("overlap_efficiency", m.overlap_efficiency);
+  json.field("kernel_us", m.kernel_us);
+  for (const auto& [name, stat] : m.kernels) {
+    json.field("kernel_" + name + "_count", static_cast<double>(stat.count));
+    json.field("kernel_" + name + "_us", stat.total_us);
+  }
+}
+
 // record one scaling table's results as JSON points (one per series x count)
 inline void record_scaling_points(BenchJson& json, const char* table,
                                   const std::vector<int>& gpu_counts,
@@ -164,6 +184,7 @@ inline void record_scaling_points(BenchJson& json, const char* table,
       if (r.fits) {
         json.field("gflops", r.effective_gflops);
         json.field("time_us", r.time_us);
+        if (r.traced) record_metrics(json, r.metrics);
       }
     }
 }

@@ -132,6 +132,8 @@ public:
   // sim::CommTimeout (local wall-clock guard, or a peer poisoned the run).
   std::vector<std::byte> wait_receive(sim::RankContext::PendingRecv& pending) {
     auto& counters = ctx_.faults().counters();
+    auto& tracer = ctx_.tracer();
+    const double recv_begin_us = ctx_.clock().now_us;
     for (;;) {
       sim::RecvHandle h = ctx_.wait(pending, policy_.wall_timeout_ms);
       std::vector<std::byte> frame = h.take_payload();
@@ -140,23 +142,22 @@ public:
       if (policy_.checksums) ctx_.clock().advance(checksum_cost_us(h.modeled_bytes()));
 
       auto& expected_seq = recv_seq_[{pending.src, pending.tag}];
-      if (!policy_.checksums) {
-        // detection disabled: accept the frame as-is.  The sequence number
-        // is not verified either -- an in-flight bit flip may have landed in
-        // the header, and flagging it would be detection by another name.
-        ++expected_seq;
+      if (!policy_.checksums || (!h.corrupt() && frame_valid(frame, expected_seq))) {
+        // accepted (verification disabled accepts as-is: an in-flight bit
+        // flip may have landed in the header, and flagging it would be
+        // detection by another name)
+        const std::uint32_t seq = expected_seq++;
         frame.erase(frame.begin(), frame.begin() + kHeaderBytes);
-        return frame;
-      }
-
-      if (!h.corrupt() && frame_valid(frame, expected_seq)) {
-        ++expected_seq;
-        frame.erase(frame.begin(), frame.begin() + kHeaderBytes);
+        tracer.span(trace::Cat::Comm, "recv_frame", trace::kTrackHost, recv_begin_us,
+                    ctx_.clock().now_us, h.modeled_bytes(), pending.src, pending.tag, seq);
         return frame;
       }
       // damaged frame: count it, drop it, and re-arm for the sender's
       // retransmission of the same sequence number
       ++counters.checksum_errors;
+      tracer.instant(trace::Cat::Fault, "checksum_error", trace::kTrackHost,
+                     ctx_.clock().now_us, h.modeled_bytes(), pending.src, pending.tag,
+                     expected_seq);
       pending = ctx_.irecv(pending.src, pending.tag);
     }
   }
@@ -209,6 +210,8 @@ private:
   void send_reliable(int dst, int tag, std::vector<std::byte> payload,
                      std::int64_t modeled_bytes) {
     auto& counters = ctx_.faults().counters();
+    auto& tracer = ctx_.tracer();
+    const double send_begin_us = ctx_.clock().now_us;
     const std::uint32_t seq = send_seq_[{dst, tag}]++;
 
     std::vector<std::byte> frame(kHeaderBytes + payload.size());
@@ -242,8 +245,12 @@ private:
       ctx_.clock().advance(wait_us);
       counters.recovery_us += wait_us;
       backoff *= policy_.backoff_factor;
+      tracer.instant(trace::Cat::Fault, "retry", trace::kTrackHost, ctx_.clock().now_us,
+                     framed_bytes, dst, tag, seq);
     }
     if (attempts > 1) ++counters.recovered_messages;
+    tracer.span(trace::Cat::Comm, "send_frame", trace::kTrackHost, send_begin_us,
+                ctx_.clock().now_us, framed_bytes, dst, tag, seq);
   }
 
   sim::RankContext& ctx_;

@@ -133,6 +133,7 @@ RankOutcome rank_solve(RankContext& ctx, const GridTopology& topo, const Geometr
   comm::QmpGrid grid(ctx, topo);
   grid.set_retry_policy(p.retry);
   RankOutcome out;
+  const double setup_begin_us = ctx.clock().now_us;
 
   OperatorParams op_params;
   op_params.mass = p.mass;
@@ -173,6 +174,10 @@ RankOutcome rank_solve(RankContext& ctx, const GridTopology& topo, const Geometr
   op_hi.reconstruct_odd(x_o, x_e, b_o);
   grid.barrier();
   out.solve_done_us = ctx.clock().now_us;
+  ctx.tracer().span(trace::Cat::Solver, "setup", trace::kTrackSolver, setup_begin_us,
+                    out.setup_done_us);
+  ctx.tracer().span(trace::Cat::Solver, "solve", trace::kTrackSolver, out.setup_done_us,
+                    out.solve_done_us);
 
   out.x_local = HostSpinorField(lg);
   download_spinor(x_e, Parity::Even, out.x_local);
@@ -280,6 +285,8 @@ InvertResult invert_multi_gpu(const sim::ClusterSpec& cluster_spec, const HostGa
   fr.escalated = result.stats.escalated;
   fr.recovered = fc.recovered_messages + result.stats.rollbacks;
   fr.recovery_time_us = fc.recovery_us;
+  result.traced = cluster.trace().enabled;
+  if (result.traced) result.trace_metrics = trace::compute_metrics(cluster.trace());
   return result;
 }
 

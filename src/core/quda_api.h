@@ -19,6 +19,7 @@
 #include "parallel/policy.h"
 #include "sim/cluster_spec.h"
 #include "solvers/solver.h"
+#include "trace/metrics.h"
 
 #include <optional>
 
@@ -103,6 +104,8 @@ struct InvertResult {
   double effective_gflops = 0;     // aggregate sustained effective Gflops
   std::int64_t device_bytes_peak = 0; // max device memory used by any rank
   FaultReport faults;              // fault injection / recovery accounting
+  bool traced = false;             // tracing was on; `trace_metrics` is meaningful
+  trace::Metrics trace_metrics{};  // aggregated trace metrics of the solve
 };
 
 // Solve M x = b on `ranks` simulated GPUs (time-direction decomposition).

@@ -16,6 +16,7 @@
 
 #include "gpusim/device_spec.h"
 #include "gpusim/kernel_model.h"
+#include "trace/trace.h"
 
 #include <cstdint>
 #include <stdexcept>
@@ -66,6 +67,9 @@ public:
     const double done = start + bus_.transfer_time_us(bytes, dir, /*async=*/false, good_numa_);
     engine = done;
     bytes_transferred_ += bytes;
+    if (trace::RankTracer* tr = trace::current())
+      tr->span(trace::Cat::Copy, dir == CopyDir::HostToDevice ? "memcpy_h2d" : "memcpy_d2h",
+               trace::kTrackHost, start, done, bytes);
     return done;
   }
 
@@ -79,6 +83,10 @@ public:
     engine = done;
     s = done;
     bytes_transferred_ += bytes;
+    if (trace::RankTracer* tr = trace::current())
+      tr->span(trace::Cat::Copy,
+               dir == CopyDir::HostToDevice ? "memcpy_async_h2d" : "memcpy_async_d2h", stream,
+               start, done, bytes);
     return host_now + kAsyncIssueOverheadUs;
   }
 
@@ -91,19 +99,27 @@ public:
     const double start = std::max(host_now, s) + kKernelLaunchOverheadUs;
     s = start + kernel_duration_us(cost, launch, spec_, double_precision);
     flops_executed_ += cost.flops;
+    if (trace::RankTracer* tr = trace::current())
+      tr->span(trace::Cat::Kernel, cost.name, stream, start, s,
+               static_cast<std::int64_t>(cost.bytes));
     return host_now + kAsyncIssueOverheadUs;
   }
 
   // --- synchronization ---------------------------------------------------------
 
   double stream_synchronize(double host_now, int stream) const {
-    return std::max(host_now, stream_ready_.at(static_cast<std::size_t>(stream)));
+    const double t = std::max(host_now, stream_ready_.at(static_cast<std::size_t>(stream)));
+    if (trace::RankTracer* tr = trace::current())
+      tr->span(trace::Cat::Sync, "stream_sync", trace::kTrackHost, host_now, t, 0, -1, stream);
+    return t;
   }
 
   double device_synchronize(double host_now) const {
     double t = host_now;
     for (double s : stream_ready_) t = std::max(t, s);
     for (double e : copy_engines_) t = std::max(t, e);
+    if (trace::RankTracer* tr = trace::current())
+      tr->span(trace::Cat::Sync, "device_sync", trace::kTrackHost, host_now, t);
     return t;
   }
 

@@ -29,6 +29,7 @@ struct KernelCost {
   double bytes = 0;            // device-memory traffic
   std::int64_t stride_bytes = 0; // dominant access stride, for camping; 0 = none
   double efficiency = 1.0;     // kernel-specific fraction of peak bandwidth
+  const char* name = "kernel"; // static-lifetime label for tracing/metrics
 };
 
 inline constexpr double kKernelLaunchOverheadUs = 4.0;

@@ -66,7 +66,9 @@ void halo_dslash(comm::QmpGrid& grid, const Geometry& local, const HaloDslashCon
 
   auto& ctx = grid.context();
   auto& dev = ctx.device();
+  auto& tracer = ctx.tracer();
   double& clk = ctx.clock().now_us;
+  const double op_begin_us = clk;
 
   const std::int64_t vh = local.half_volume();
   using real_t = typename P::real_t;
@@ -95,12 +97,14 @@ void halo_dslash(comm::QmpGrid& grid, const Geometry& local, const HaloDslashCon
 
   // ---- no cut dimensions: plain local kernel with periodic wrap -------------
   if (cuts.empty()) {
-    dev.launch_kernel(clk, kInteriorStream, perf::dslash_kernel_cost(prec, vh), cfg.launch,
-                      prec == Precision::Double);
+    auto cost = perf::dslash_kernel_cost(prec, vh);
+    cost.name = "dslash_local";
+    dev.launch_kernel(clk, kInteriorStream, cost, cfg.launch, prec == Precision::Double);
     if (real)
       dslash<P>(*f.out, *f.gauge, *f.in, local, opt, 0, vh, static_cast<real_t>(cfg.scale),
                 cfg.accumulate);
     clk = dev.device_synchronize(clk);
+    tracer.span(trace::Cat::Op, "halo_dslash", trace::kTrackHost, op_begin_us, clk);
     return;
   }
 
@@ -116,8 +120,13 @@ void halo_dslash(comm::QmpGrid& grid, const Geometry& local, const HaloDslashCon
     for (auto& d : cuts) {
       pack_face(*f.in, local, in_parity, d.mu, 0, -1, d.send_back);
       pack_face(*f.in, local, in_parity, d.mu, local.dims()[d.mu] - 1, +1, d.send_fwd);
+      tracer.instant(trace::Cat::Op, "pack_face", trace::kTrackHost, clk, 2 * d.face_bytes, -1,
+                     d.mu);
     }
   }
+
+  std::int64_t halo_bytes_total = 0;
+  for (const auto& d : cuts) halo_bytes_total += 2 * d.face_bytes;
 
   // post all receives first (MPI_Irecv before the sends, as QUDA/QMP does)
   for (auto& d : cuts) {
@@ -127,6 +136,7 @@ void halo_dslash(comm::QmpGrid& grid, const Geometry& local, const HaloDslashCon
 
   if (cfg.policy == CommPolicy::NoOverlap) {
     // ---- Section VI-D1: all communication up front, then one kernel --------
+    const double comm_begin_us = clk;
     for (auto& d : cuts) {
       for (int k = 0; k < d2h_copies; ++k)
         clk = dev.memcpy_sync(clk, d.face_bytes / d2h_copies, gpusim::CopyDir::DeviceToHost);
@@ -155,14 +165,18 @@ void halo_dslash(comm::QmpGrid& grid, const Geometry& local, const HaloDslashCon
         unpack_ghost(*f.in, local, d.mu, GhostFace::Forward, d.ghost_fwd);
       }
     }
+    tracer.span(trace::Cat::Comm, "halo_comm", trace::kTrackComm, comm_begin_us, clk,
+                halo_bytes_total);
 
     // one kernel over the entire local volume
-    clk = dev.launch_kernel(clk, kInteriorStream, perf::dslash_kernel_cost(prec, vh),
-                            cfg.launch, prec == Precision::Double);
+    auto cost = perf::dslash_kernel_cost(prec, vh);
+    cost.name = "dslash_local";
+    clk = dev.launch_kernel(clk, kInteriorStream, cost, cfg.launch, prec == Precision::Double);
     if (real)
       dslash<P>(*f.out, *f.gauge, *f.in, local, opt, 0, vh, static_cast<real_t>(cfg.scale),
                 cfg.accumulate);
     clk = dev.device_synchronize(clk);
+    tracer.span(trace::Cat::Op, "halo_dslash", trace::kTrackHost, op_begin_us, clk);
     return;
   }
 
@@ -170,12 +184,14 @@ void halo_dslash(comm::QmpGrid& grid, const Geometry& local, const HaloDslashCon
 
   const std::int64_t n_interior = interior_sites(local, mask);
   if (n_interior > 0) {
-    clk = dev.launch_kernel(clk, kInteriorStream, perf::dslash_kernel_cost(prec, n_interior),
-                            cfg.launch, prec == Precision::Double);
+    auto cost = perf::dslash_kernel_cost(prec, n_interior);
+    cost.name = "dslash_interior";
+    clk = dev.launch_kernel(clk, kInteriorStream, cost, cfg.launch, prec == Precision::Double);
     if (real)
       dslash<P>(*f.out, *f.gauge, *f.in, local, opt, 0, vh, static_cast<real_t>(cfg.scale),
                 cfg.accumulate, KernelRegion::Interior);
   }
+  const double comm_begin_us = clk;
 
   // per cut dimension: async face downloads (stream 1 carries the
   // backward-traveling face, stream 2 the forward one), each followed by its
@@ -217,18 +233,22 @@ void halo_dslash(comm::QmpGrid& grid, const Geometry& local, const HaloDslashCon
       clk = dev.memcpy_async(clk, kForwardFaceStream, d.face_bytes / h2d_copies,
                              gpusim::CopyDir::HostToDevice);
   }
+  tracer.span(trace::Cat::Comm, "halo_comm", trace::kTrackComm, comm_begin_us, clk,
+              halo_bytes_total);
 
   // boundary kernel: waits (in-stream) for the interior kernel and the
   // ghost uploads, then updates every site on a cut edge
   dev.stream_wait_stream(kInteriorStream, kBackwardFaceStream);
   dev.stream_wait_stream(kInteriorStream, kForwardFaceStream);
-  clk = dev.launch_kernel(clk, kInteriorStream,
-                          perf::dslash_kernel_cost(prec, vh - n_interior), cfg.launch,
+  auto boundary_cost = perf::dslash_kernel_cost(prec, vh - n_interior);
+  boundary_cost.name = "dslash_boundary";
+  clk = dev.launch_kernel(clk, kInteriorStream, boundary_cost, cfg.launch,
                           prec == Precision::Double);
   if (real)
     dslash<P>(*f.out, *f.gauge, *f.in, local, opt, 0, vh, static_cast<real_t>(cfg.scale),
               cfg.accumulate, KernelRegion::Boundary);
   clk = dev.device_synchronize(clk);
+  tracer.span(trace::Cat::Op, "halo_dslash", trace::kTrackHost, op_begin_us, clk);
 }
 
 template <typename P>
@@ -242,6 +262,7 @@ void exchange_gauge_ghost(comm::QmpGrid& grid, const Geometry& local, GaugeField
   auto& ctx = grid.context();
   auto& dev = ctx.device();
   double& clk = ctx.clock().now_us;
+  const double op_begin_us = clk;
 
   for (int mu = 0; mu < 4; ++mu) {
     if (!grid.partitioned(mu)) continue;
@@ -275,6 +296,7 @@ void exchange_gauge_ghost(comm::QmpGrid& grid, const Geometry& local, GaugeField
       unpack_gauge_ghost(*gauge, local, mu, in_buf);
     }
   }
+  ctx.tracer().span(trace::Cat::Op, "gauge_exchange", trace::kTrackHost, op_begin_us, clk);
 }
 
 #define QUDA_INSTANTIATE_HALO(P)                                                                  \

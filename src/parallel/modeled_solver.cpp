@@ -97,6 +97,9 @@ ModeledSolverResult run_modeled_solver(sim::VirtualCluster& cluster,
       }
     };
 
+    auto& tracer = ctx.tracer();
+    const double setup_begin_us = ctx.clock().now_us;
+
     // setup: gauge ghost exchange (program initialization, Section VI-B)
     switch (sloppy) {
       case Precision::Double:
@@ -115,6 +118,9 @@ ModeledSolverResult run_modeled_solver(sim::VirtualCluster& cluster,
     flops += perf::effective_matrix_flops(vh);
     modeled_blas(ctx, config.outer, vh, 2, 1, flops);
     modeled_reduction(ctx);
+    tracer.span(trace::Cat::Solver, "setup", trace::kTrackSolver, setup_begin_us,
+                ctx.clock().now_us);
+    const double solve_begin_us = ctx.clock().now_us;
 
     int executed = 0;
     for (int k = 1; k <= config.iterations; ++k) {
@@ -137,9 +143,13 @@ ModeledSolverResult run_modeled_solver(sim::VirtualCluster& cluster,
       modeled_reduction(ctx);
       modeled_blas(ctx, sloppy, vh, 3, 1, flops); // p update
 
+      tracer.instant(trace::Cat::Solver, "iteration", trace::kTrackSolver, ctx.clock().now_us,
+                     0, -1, -1, k);
+
       if (mixed && config.reliable_interval > 0 && k % config.reliable_interval == 0) {
         // reliable update: fold x_lo, recompute the true residual at outer
         // precision, convert back down (Section V-D)
+        const double reliable_begin_us = ctx.clock().now_us;
         modeled_blas(ctx, config.outer, vh, 3, 1, flops); // y += x_lo
         modeled_matrix(grid, local, config.outer, config.policy, config.time_bc);
         flops += perf::effective_matrix_flops(vh);
@@ -163,13 +173,21 @@ ModeledSolverResult run_modeled_solver(sim::VirtualCluster& cluster,
           modeled_reduction(ctx);
           modeled_blas(ctx, sloppy, vh, 4, 3, flops); // rebuild r0, p, rho
           modeled_reduction(ctx);
+          tracer.instant(trace::Cat::Solver, "rollback", trace::kTrackSolver,
+                         ctx.clock().now_us, 0, -1, -1, k);
+          tracer.span(trace::Cat::Solver, "reliable_update", trace::kTrackSolver,
+                      reliable_begin_us, ctx.clock().now_us, 0, -1, -1, k);
           k -= config.reliable_interval; // the segment is re-run
           continue;
         }
         modeled_blas(ctx, sloppy, vh, 1, 1, flops); // r_lo = convert(r)
+        tracer.span(trace::Cat::Solver, "reliable_update", trace::kTrackSolver,
+                    reliable_begin_us, ctx.clock().now_us, 0, -1, -1, k);
       }
     }
     ctx.barrier();
+    tracer.span(trace::Cat::Solver, "solve", trace::kTrackSolver, solve_begin_us,
+                ctx.clock().now_us);
     if (ctx.rank() == 0) {
       rollbacks_rank0 = rollbacks;
       iterations_rank0 = executed;
@@ -180,6 +198,8 @@ ModeledSolverResult run_modeled_solver(sim::VirtualCluster& cluster,
   result.rollbacks = rollbacks_rank0;
   result.faults = cluster.fault_totals();
   result.time_us = cluster.makespan_us();
+  result.traced = cluster.trace().enabled;
+  if (result.traced) result.metrics = trace::compute_metrics(cluster.trace());
   double total_flops = 0;
   for (double f : eff_flops) total_flops += f;
   result.effective_gflops = total_flops / (result.time_us * 1e3); // flops/us -> Gflops

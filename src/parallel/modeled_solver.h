@@ -15,6 +15,7 @@
 #include "parallel/halo_dslash.h"
 #include "perfmodel/footprint.h"
 #include "sim/event_sim.h"
+#include "trace/metrics.h"
 
 #include <optional>
 
@@ -45,6 +46,8 @@ struct ModeledSolverResult {
   int iterations = 0;             // iterations executed (incl. re-run segments)
   int rollbacks = 0;              // SDC rollbacks (re-run reliable segments)
   sim::FaultCounters faults{};    // injection/recovery totals over all ranks
+  bool traced = false;            // tracing was on; `metrics` is meaningful
+  trace::Metrics metrics{};       // aggregated trace metrics of the solve
 };
 
 // run the modeled solve on `cluster` (one rank per GPU); returns aggregate

@@ -7,6 +7,7 @@
 
 #include "gpusim/device_spec.h"
 #include "sim/fault_model.h"
+#include "trace/trace.h"
 
 #include <stdexcept>
 
@@ -47,6 +48,9 @@ struct ClusterSpec {
   // seeded fault environment (all rates default to zero = fault-free);
   // injection is deterministic in (seed, rank, event counter)
   FaultConfig faults{};
+  // structured tracing (src/trace); recording also turns on when the
+  // QUDA_SIM_TRACE environment variable is set (its value = export path)
+  trace::TraceOptions trace{};
 
   int num_ranks() const { return ranks > 0 ? ranks : nodes * gpus_per_node; }
   int node_of(int rank) const { return rank / gpus_per_node; }

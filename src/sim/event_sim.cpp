@@ -1,7 +1,10 @@
 #include "sim/event_sim.h"
 
+#include "trace/trace_export.h"
+
 #include <chrono>
 #include <cmath>
+#include <cstdlib>
 #include <exception>
 #include <stdexcept>
 #include <thread>
@@ -11,7 +14,9 @@ namespace quda::sim {
 RankContext::RankContext(VirtualCluster& cluster, int rank, const ClusterSpec& spec)
     : cluster_(cluster), rank_(rank), spec_(spec),
       device_(spec.device, spec.bus, spec.good_numa_binding),
-      faults_(&cluster.fault_model_, rank) {}
+      faults_(&cluster.fault_model_, rank) {
+  tracer_.bind(rank, &clock_.now_us);
+}
 
 int RankContext::size() const { return spec_.num_ranks(); }
 
@@ -30,6 +35,7 @@ RankContext::SendStatus RankContext::isend(int dst, int tag, std::vector<std::by
       clock_.advance(f.stall_us);
       ++counters.stalls;
       counters.recovery_us += f.stall_us;
+      tracer_.instant(trace::Cat::Fault, "stall", trace::kTrackHost, clock_.now_us, 0, dst, tag);
     }
     if (f.drop) {
       // the attempt never arrives; enqueue a tombstone so the receiver's
@@ -58,6 +64,15 @@ RankContext::SendStatus RankContext::isend(int dst, int tag, std::vector<std::by
   }
 
   m.send_time_us = clock_.now_us;
+  tracer_.instant(trace::Cat::Comm, "isend", trace::kTrackHost, m.send_time_us, modeled_bytes,
+                  dst, tag);
+  if (m.dropped) {
+    tracer_.instant(trace::Cat::Fault, "drop", trace::kTrackHost, m.send_time_us, modeled_bytes,
+                    dst, tag);
+  } else if (m.corrupt) {
+    tracer_.instant(trace::Cat::Fault, "corrupt", trace::kTrackHost, m.send_time_us,
+                    modeled_bytes, dst, tag);
+  }
   {
     std::lock_guard<std::mutex> lock(cluster_.mutex_);
     cluster_.channels_[{rank_, dst, tag}].queue.push_back(std::move(m));
@@ -86,6 +101,7 @@ void RankContext::raise_timeout(const std::string& what) {
 RankContext::PendingRecv RankContext::irecv(int src, int tag) {
   PendingRecv p{src, tag, clock_.now_us};
   clock_.advance(spec_.net.mpi_overhead_us);
+  tracer_.instant(trace::Cat::Comm, "irecv", trace::kTrackHost, p.post_time_us, 0, src, tag);
   return p;
 }
 
@@ -93,6 +109,7 @@ RecvHandle RankContext::wait(PendingRecv& pending, double wall_timeout_ms) {
   if (pending.consumed)
     throw std::logic_error("RankContext::wait() called twice on the same PendingRecv");
   pending.consumed = true;
+  const double wait_begin_us = clock_.now_us;
 
   RecvHandle h;
   {
@@ -139,6 +156,14 @@ RecvHandle RankContext::wait(PendingRecv& pending, double wall_timeout_ms) {
   h.arrival_us_ = std::max(h.msg_.send_time_us, pending.post_time_us) + path;
   clock_.now_us = std::max(clock_.now_us, h.arrival_us_);
   clock_.advance(spec_.net.mpi_overhead_us);
+  if (tracer_.enabled()) {
+    // the message's in-flight window on the comm track, and the host-side
+    // blocking window of the wait itself
+    tracer_.span(trace::Cat::Comm, "msg_flight", trace::kTrackComm, h.msg_.send_time_us,
+                 h.arrival_us_, h.msg_.modeled_bytes, pending.src, pending.tag);
+    tracer_.span(trace::Cat::Comm, "mpi_wait", trace::kTrackHost, wait_begin_us, clock_.now_us,
+                 h.msg_.modeled_bytes, pending.src, pending.tag);
+  }
   return h;
 }
 
@@ -150,6 +175,7 @@ RecvHandle RankContext::recv(int src, int tag) {
 void RankContext::allreduce_sum(double* values, int count) {
   const int n = spec_.num_ranks();
   if (n == 1) return;
+  const double reduce_begin_us = clock_.now_us;
 
   // tree reduction: ceil(log2 N) network steps after the last rank arrives
   const int steps = static_cast<int>(std::ceil(std::log2(static_cast<double>(n))));
@@ -183,6 +209,8 @@ void RankContext::allreduce_sum(double* values, int count) {
   }
   clock_.now_us = std::max(clock_.now_us, red.done_time);
   for (int i = 0; i < count; ++i) values[i] = red.result[static_cast<std::size_t>(i)];
+  tracer_.span(trace::Cat::Collective, "allreduce", trace::kTrackHost, reduce_begin_us,
+               clock_.now_us, static_cast<std::int64_t>(count) * 8);
 }
 
 void RankContext::barrier() {
@@ -209,9 +237,18 @@ void VirtualCluster::run(const std::function<void(RankContext&)>& fn) {
     abort_kind_ = AbortKind::None;
     channels_.clear();
   }
+  // tracing turns on via the spec or the QUDA_SIM_TRACE environment variable
+  // (whose value doubles as the Chrome JSON export path)
+  const char* env_trace = std::getenv("QUDA_SIM_TRACE");
+  const bool trace_on = spec_.trace.enabled || (env_trace != nullptr && env_trace[0] != '\0');
+  std::string trace_path = spec_.trace.path;
+  if (trace_path.empty() && env_trace != nullptr) trace_path = env_trace;
+
   std::vector<std::unique_ptr<RankContext>> contexts;
   contexts.reserve(static_cast<std::size_t>(n));
   for (int r = 0; r < n; ++r) contexts.push_back(std::make_unique<RankContext>(*this, r, spec_));
+  if (trace_on)
+    for (auto& c : contexts) c->tracer().set_enabled(true);
 
   std::vector<std::thread> threads;
   std::exception_ptr first_error;
@@ -220,8 +257,12 @@ void VirtualCluster::run(const std::function<void(RankContext&)>& fn) {
   threads.reserve(static_cast<std::size_t>(n));
   for (int r = 0; r < n; ++r) {
     threads.emplace_back([&, r] {
+      RankContext& ctx = *contexts[static_cast<std::size_t>(r)];
+      // bind the thread-local tracer so layers without RankContext access
+      // (the device model, the solvers) can emit; null keeps them silent
+      trace::ScopedTracer bind_tracer(trace_on ? &ctx.tracer() : nullptr);
       try {
-        fn(*contexts[static_cast<std::size_t>(r)]);
+        fn(ctx);
       } catch (const CommTimeout&) {
         {
           std::lock_guard<std::mutex> lock(error_mutex);
@@ -246,6 +287,17 @@ void VirtualCluster::run(const std::function<void(RankContext&)>& fn) {
   for (auto& c : contexts) {
     fault_totals_ += c->faults().counters();
     makespan_us_ = std::max(makespan_us_, c->clock().now_us);
+  }
+
+  // the trace likewise survives a failed run (partial timelines are exactly
+  // what one wants when diagnosing a CommTimeout)
+  trace_report_ = trace::TraceReport{};
+  trace_report_.enabled = trace_on;
+  if (trace_on) {
+    trace_report_.per_rank.reserve(static_cast<std::size_t>(n));
+    for (auto& c : contexts) trace_report_.per_rank.push_back(c->tracer().take_events());
+    if (!trace_path.empty())
+      trace::write_chrome_trace(trace::unique_trace_path(trace_path), trace_report_);
   }
 
   if (first_error) std::rethrow_exception(first_error);

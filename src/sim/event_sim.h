@@ -23,6 +23,7 @@
 #include "gpusim/device.h"
 #include "sim/cluster_spec.h"
 #include "sim/fault_model.h"
+#include "trace/trace.h"
 
 #include <condition_variable>
 #include <cstddef>
@@ -70,6 +71,11 @@ public:
   bool corrupt() const { return msg_.corrupt; }
   std::int64_t modeled_bytes() const { return msg_.modeled_bytes; }
 
+  // arrival metadata: when the message reached this rank in simulated time,
+  // and when the (possibly retransmitted) delivered attempt left the sender
+  double arrival_us() const { return arrival_us_; }
+  double send_time_us() const { return msg_.send_time_us; }
+
 private:
   Message msg_;
   double arrival_us_ = 0;
@@ -88,6 +94,7 @@ public:
   SimClock& clock() { return clock_; }
   gpusim::Device& device() { return device_; }
   FaultStream& faults() { return faults_; }
+  trace::RankTracer& tracer() { return tracer_; }
 
   // post a non-blocking send; advances the clock by the MPI call overhead.
   // Under fault injection the attempt may be dropped, corrupted, or delayed;
@@ -147,6 +154,7 @@ private:
   SimClock clock_;
   gpusim::Device device_;
   FaultStream faults_;
+  trace::RankTracer tracer_;
 };
 
 class VirtualCluster {
@@ -165,6 +173,10 @@ public:
   // fault/recovery accounting summed over all ranks of the last run()
   // (populated even when a rank threw)
   const FaultCounters& fault_totals() const { return fault_totals_; }
+
+  // per-rank event streams of the last run() when tracing was enabled via
+  // ClusterSpec::trace or QUDA_SIM_TRACE (populated even when a rank threw)
+  const trace::TraceReport& trace() const { return trace_report_; }
 
 private:
   friend class RankContext;
@@ -202,6 +214,7 @@ private:
 
   double makespan_us_ = 0;
   FaultCounters fault_totals_;
+  trace::TraceReport trace_report_;
 };
 
 } // namespace quda::sim

@@ -9,6 +9,7 @@
 
 #include "solvers/linear_operator.h"
 #include "solvers/solver.h"
+#include "trace/trace.h"
 
 #include <cmath>
 #include <cstdio>
@@ -59,6 +60,9 @@ SolverStats solve_bicgstab(LinearOperator<P>& op, SpinorField<P>& x, const Spino
   auto breakdown_restart = [&]() {
     if (stats.breakdown_restarts >= params.max_breakdown_restarts) return false;
     ++stats.breakdown_restarts;
+    if (trace::RankTracer* tr = trace::current())
+      tr->instant(trace::Cat::Solver, "breakdown_restart", trace::kTrackSolver, tr->now_us(), 0,
+                  -1, -1, stats.breakdown_restarts);
     op.apply(r, x);
     r2 = op.global_sum(blas::xmy_norm(b, r));
     blas::copy(r0, r);
@@ -122,6 +126,9 @@ SolverStats solve_bicgstab(LinearOperator<P>& op, SpinorField<P>& x, const Spino
     op.account_blas(3, 1);
 
     ++k;
+    if (trace::RankTracer* tr = trace::current())
+      tr->instant(trace::Cat::Solver, "iteration", trace::kTrackSolver, tr->now_us(), 0, -1, -1,
+                  k);
     if (params.verbose && (k % 10 == 0))
       std::printf("BiCGstab: iter %4d  |r|/|b| = %.3e\n", k, std::sqrt(r2 / b2));
   }

@@ -95,6 +95,9 @@ SolverStats solve_bicgstab_reliable(LinearOperator<PHi>& op_hi, LinearOperator<P
   auto breakdown_restart = [&]() {
     if (stats.breakdown_restarts >= params.max_breakdown_restarts) return false;
     ++stats.breakdown_restarts;
+    if (trace::RankTracer* tr = trace::current())
+      tr->instant(trace::Cat::Solver, "breakdown_restart", trace::kTrackSolver, tr->now_us(), 0,
+                  -1, -1, stats.breakdown_restarts);
     convert_spinor_field(tmp_hi, x_lo);
     blas::axpy(1.0, tmp_hi, x);
     op_hi.apply(r_hi, x);
@@ -143,6 +146,9 @@ SolverStats solve_bicgstab_reliable(LinearOperator<PHi>& op_hi, LinearOperator<P
     rho_next = op_lo.global_sum(rho_next);
     op_lo.account_blas(3, 1);
     ++k;
+    if (trace::RankTracer* tr = trace::current())
+      tr->instant(trace::Cat::Solver, "iteration", trace::kTrackSolver, tr->now_us(), 0, -1, -1,
+                  k);
 
     const double rnorm = std::sqrt(r2);
     if (rnorm > maxrr) maxrr = rnorm;
@@ -151,6 +157,8 @@ SolverStats solve_bicgstab_reliable(LinearOperator<PHi>& op_hi, LinearOperator<P
     // a non-finite iterated residual means an iterate was corrupted; force
     // an update so the true residual exposes it to the SDC check below
     if (rnorm < params.delta * maxrr || r2 < stop || !std::isfinite(r2)) {
+      trace::RankTracer* tr = trace::current();
+      const double reliable_begin_us = tr != nullptr ? tr->now_us() : 0.0;
       // fold the sloppy solution into the high-precision solution and
       // recompute the true residual
       convert_spinor_field(tmp_hi, x_lo);
@@ -176,12 +184,24 @@ SolverStats solve_bicgstab_reliable(LinearOperator<PHi>& op_hi, LinearOperator<P
         op_hi.account_blas(3, 2);
         if (stats.rollbacks >= params.max_rollbacks) {
           stats.escalated = true; // budget exhausted: caller escalates
+          if (tr != nullptr) {
+            tr->instant(trace::Cat::Solver, "escalate", trace::kTrackSolver, tr->now_us());
+            tr->span(trace::Cat::Solver, "reliable_update", trace::kTrackSolver,
+                     reliable_begin_us, tr->now_us(), 0, -1, -1, k);
+          }
           break;
         }
         ++stats.rollbacks;
         last_update_r2 = r2;
         stagnant_updates = 0;
-        if (!rebuild_krylov()) break;
+        if (tr != nullptr)
+          tr->instant(trace::Cat::Solver, "sdc_rollback", trace::kTrackSolver, tr->now_us(), 0,
+                      -1, -1, stats.rollbacks);
+        const bool rebuilt = rebuild_krylov();
+        if (tr != nullptr)
+          tr->span(trace::Cat::Solver, "reliable_update", trace::kTrackSolver,
+                   reliable_begin_us, tr->now_us(), 0, -1, -1, k);
+        if (!rebuilt) break;
         continue;
       }
 
@@ -193,6 +213,9 @@ SolverStats solve_bicgstab_reliable(LinearOperator<PHi>& op_hi, LinearOperator<P
       convert_spinor_field(r, r_hi);
       op_lo.account_blas(1, 1);
       maxrr = std::sqrt(r2);
+      if (tr != nullptr)
+        tr->span(trace::Cat::Solver, "reliable_update", trace::kTrackSolver, reliable_begin_us,
+                 tr->now_us(), 0, -1, -1, k);
       if (r2 <= stop) break;
       if (r2 > 0.8 * last_update_r2) {
         if (++stagnant_updates >= 3) break; // converged as far as precision allows

@@ -1,0 +1,53 @@
+#pragma once
+// Aggregated metrics derived from a TraceReport.
+//
+// compute_metrics folds the per-rank event streams into the headline
+// numbers the benches merge into their BENCH_<name>.json: halo traffic,
+// retry counts, per-kernel time histograms, and the paper's overlap
+// efficiency (overlapped-comm-time / total-comm-time).  Overlap is
+// measured geometrically from the recorded timeline: per rank, the union
+// of "halo_comm" windows on the comm track intersected with the union of
+// kernel spans across the device streams.
+
+#include "trace/trace.h"
+
+#include <map>
+#include <string>
+
+namespace quda::trace {
+
+// running stats for one kernel name across all ranks/streams
+struct KernelStat {
+  long count = 0;
+  double total_us = 0;
+  double min_us = 0;
+  double max_us = 0;
+
+  void add(double dur_us) {
+    if (count == 0) {
+      min_us = max_us = dur_us;
+    } else {
+      if (dur_us < min_us) min_us = dur_us;
+      if (dur_us > max_us) max_us = dur_us;
+    }
+    ++count;
+    total_us += dur_us;
+  }
+};
+
+struct Metrics {
+  long events = 0;          // total recorded events across ranks
+  long messages = 0;        // isend count
+  long halo_bytes = 0;      // modeled bytes across all isends
+  long retries = 0;         // reliable-layer retransmissions
+  long checksum_errors = 0; // corrupt frames detected on receive
+  double comm_us = 0;       // sum over ranks of union of halo_comm windows
+  double overlapped_us = 0; // portion of comm_us covered by kernel spans
+  double overlap_efficiency = 0; // overlapped_us / comm_us (0 when no comm)
+  double kernel_us = 0;          // total device kernel time
+  std::map<std::string, KernelStat> kernels;
+};
+
+Metrics compute_metrics(const TraceReport& report);
+
+} // namespace quda::trace

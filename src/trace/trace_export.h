@@ -1,0 +1,33 @@
+#pragma once
+// Chrome/Perfetto trace_event exporter for the per-rank event streams.
+//
+// Output is the JSON Object Format of the Trace Event spec (loadable by
+// ui.perfetto.dev and chrome://tracing): each simulated rank becomes one
+// process (pid = rank), each device stream one thread within it, plus named
+// host / comm / solver tracks.  Spans are "X" complete events with ts/dur
+// in microseconds of *simulated* time; instants are "i" events.  Metadata
+// ("M") events name every process and track.
+//
+// The writer emits exactly one event object per line, so structural tests
+// and the tools/trace_lint.py gate can cross-check files without a full
+// JSON parser.
+
+#include "trace/trace.h"
+
+#include <string>
+
+namespace quda::trace {
+
+// serialize the whole report (pure function of the report: no clocks, no
+// environment)
+std::string chrome_trace_json(const TraceReport& report);
+
+// write chrome_trace_json(report) to `path`; returns false on I/O failure
+bool write_chrome_trace(const std::string& path, const TraceReport& report);
+
+// Per-process unique export path: the first call returns `base` unchanged,
+// later calls suffix an increasing counter (base.1, base.2, ...) so the
+// multiple cluster runs of one bench binary don't overwrite each other.
+std::string unique_trace_path(const std::string& base);
+
+} // namespace quda::trace

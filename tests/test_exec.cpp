@@ -7,6 +7,7 @@
 // serial reference on a sub-grain lattice (the seed's historical loops).
 
 #include "blas/blas.h"
+#include "core/quda_api.h"
 #include "dirac/dslash.h"
 #include "dirac/gauge_init.h"
 #include "dirac/transfer.h"
@@ -264,6 +265,84 @@ TEST(HostEngineKernels, FusedBlasMatchesUnfusedComposition) {
   const double err = blas::xmy_norm(p_unfused, diff); // diff = p_unfused - p_fused
   const double ref = blas::norm2(p_fused);
   EXPECT_LE(err, 1e-24 * ref);
+}
+
+// --- tracing under the engine: thread safety + simulated-time bit-identity ---
+
+// A full Real-mode multi-GPU solve with event recording on must be
+// bit-identical -- in simulated time, iteration count, and the solution
+// field -- to the same solve with recording off, at every worker budget.
+// This pins two contracts at once: the tracer is purely observational
+// (emission never advances a clock), and it is safe under QUDA_SIM_THREADS
+// worker parallelism (events are written only from rank threads; worker
+// chunks never emit).
+TEST(HostEngineTrace, TracedSolveBitIdenticalAcrossBudgetsAndTraceState) {
+  Geometry g{LatticeDims{4, 4, 4, 8}};
+  HostGaugeField u(g);
+  HostSpinorField b(g);
+  make_weak_field_gauge(u, 0.2, 77);
+  make_random_spinor(b, 78);
+
+  InvertParams p;
+  p.mass = 0.1;
+  p.csw = 1.0;
+  p.precision = Precision::Single;
+  p.sloppy = Precision::Half;
+  p.tol = 1e-6;
+  p.max_iter = 500;
+
+  struct Run {
+    InvertResult r;
+    std::vector<double> x; // solution, flattened for exact comparison
+  };
+  auto run_at = [&](int budget, bool traced) {
+    Run out;
+    sim::ClusterSpec spec = sim::ClusterSpec::jlab_9g(2);
+    spec.trace.enabled = traced;
+    HostSpinorField x(g);
+    with_budget(budget, [&] { out.r = invert_multi_gpu(spec, u, b, x, p); });
+    for (std::int64_t i = 0; i < g.volume(); ++i)
+      for (std::size_t s = 0; s < 4; ++s)
+        for (std::size_t c = 0; c < 3; ++c) {
+          out.x.push_back(x[i].at(s, c).re);
+          out.x.push_back(x[i].at(s, c).im);
+        }
+    return out;
+  };
+
+  const Run ref = run_at(1, false);
+  ASSERT_TRUE(ref.r.stats.converged) << ref.r.stats.summary();
+  EXPECT_FALSE(ref.r.traced);
+
+  const trace::Metrics* traced_ref = nullptr;
+  std::vector<Run> traced_runs;
+  for (const int budget : {1, 2, 8}) {
+    for (const bool traced : {false, true}) {
+      const Run run = run_at(budget, traced);
+      EXPECT_EQ(run.r.simulated_time_us, ref.r.simulated_time_us)
+          << "budget " << budget << " traced " << traced;
+      EXPECT_EQ(run.r.stats.iterations, ref.r.stats.iterations)
+          << "budget " << budget << " traced " << traced;
+      EXPECT_EQ(run.x, ref.x) << "budget " << budget << " traced " << traced;
+      EXPECT_EQ(run.r.traced, traced);
+      if (traced) {
+        EXPECT_GT(run.r.trace_metrics.events, 0);
+        if (traced_ref == nullptr) {
+          traced_runs.push_back(run);
+          traced_ref = &traced_runs.back().r.trace_metrics;
+        } else {
+          // the recorded stream itself is budget-independent
+          EXPECT_EQ(run.r.trace_metrics.events, traced_ref->events) << "budget " << budget;
+          EXPECT_EQ(run.r.trace_metrics.messages, traced_ref->messages) << "budget " << budget;
+          EXPECT_EQ(run.r.trace_metrics.halo_bytes, traced_ref->halo_bytes) << "budget " << budget;
+          EXPECT_EQ(run.r.trace_metrics.comm_us, traced_ref->comm_us) << "budget " << budget;
+          EXPECT_EQ(run.r.trace_metrics.overlapped_us, traced_ref->overlapped_us)
+              << "budget " << budget;
+          EXPECT_EQ(run.r.trace_metrics.kernel_us, traced_ref->kernel_us) << "budget " << budget;
+        }
+      }
+    }
+  }
 }
 
 } // namespace

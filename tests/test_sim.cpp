@@ -178,6 +178,43 @@ TEST(EventSim, RankFailurePropagatesWithoutDeadlock) {
                std::runtime_error);
 }
 
+TEST(EventSim, RecvHandleExposesArrivalAndSendTime) {
+  // late sender: the receiver posted first, so arrival = send time + path
+  ClusterSpec spec = two_ranks_one_node();
+  VirtualCluster cluster(spec);
+  cluster.run([&](RankContext& ctx) {
+    if (ctx.rank() == 0) {
+      ctx.clock().advance(250.0);
+      ctx.isend(1, 0, {}, 2048);
+    } else {
+      RecvHandle h = ctx.recv(0, 0); // posted at t=0
+      EXPECT_DOUBLE_EQ(h.send_time_us(), 250.0);
+      const double path = spec.net.transfer_time_us(2048, true);
+      EXPECT_DOUBLE_EQ(h.arrival_us(), 250.0 + path);
+      // the receive completes at arrival + the MPI call overhead
+      EXPECT_DOUBLE_EQ(ctx.clock().now_us, h.arrival_us() + spec.net.mpi_overhead_us);
+    }
+  });
+}
+
+TEST(EventSim, RecvHandleArrivalUsesLatePostTime) {
+  // late receiver: arrival = max(send time, post time) + path
+  ClusterSpec spec = two_ranks_one_node();
+  VirtualCluster cluster(spec);
+  cluster.run([&](RankContext& ctx) {
+    if (ctx.rank() == 0) {
+      ctx.isend(1, 0, {}, 2048); // posted at t=0
+    } else {
+      ctx.clock().advance(500.0);
+      RankContext::PendingRecv pending = ctx.irecv(0, 0); // posted at t=500
+      RecvHandle h = ctx.wait(pending);
+      EXPECT_DOUBLE_EQ(h.send_time_us(), 0.0);
+      EXPECT_DOUBLE_EQ(h.arrival_us(), 500.0 + spec.net.transfer_time_us(2048, true));
+      EXPECT_GE(ctx.clock().now_us, h.arrival_us());
+    }
+  });
+}
+
 TEST(EventSim, DoubleTakePayloadIsHardError) {
   VirtualCluster cluster(two_ranks_one_node());
   cluster.run([](RankContext& ctx) {

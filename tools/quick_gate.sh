@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Quick gate for the edit-compile-test loop (CI runs the full suite):
+#   1. configure + build;
+#   2. the fast test subset (ctest -LE slow), which includes the trace
+#      acceptance test that exports a fig5-sized Chrome trace;
+#   3. trace-lint every file that acceptance run produced against
+#      tools/trace_schema.json.
+# Usage: tools/quick_gate.sh [build-dir]   (default: build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+
+cmake -B "$BUILD" -S .
+cmake --build "$BUILD" -j"$(nproc)"
+ctest --test-dir "$BUILD" -LE slow --output-on-failure -j"$(nproc)"
+
+shopt -s nullglob
+traces=("$BUILD"/tests/trace_fig5_acceptance.json*)
+if [ "${#traces[@]}" -eq 0 ]; then
+  echo "quick_gate: the acceptance test produced no trace export" >&2
+  exit 1
+fi
+python3 tools/trace_lint.py "${traces[@]}"
+echo "quick gate OK (${#traces[@]} trace file(s) linted)"

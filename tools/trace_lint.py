@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""Lint a QUDA_SIM_TRACE export against tools/trace_schema.json.
+
+Stdlib only (the repo adds no dependencies): the validator implements the
+JSON-Schema subset the schema file declares -- type, const, enum, required,
+properties, additionalProperties (boolean), minimum, minLength -- which is
+all the exporter's flat one-object-per-line format needs.
+
+Beyond per-event schema checks it enforces the structural contracts the
+test suite relies on:
+  * the file is a single valid JSON document with the expected top level;
+  * every traceEvents entry validates against the schema of its 'ph' phase;
+  * otherData.events equals the number of non-metadata events;
+  * the exporter's one-object-per-line invariant holds (so greps and the
+    golden-trace tests can address events by line);
+  * every (pid, tid) that carries events also carries a thread_name
+    metadata record, and every pid a process_name.
+
+Usage: trace_lint.py [--schema tools/trace_schema.json] TRACE.json [...]
+Exit status 0 when every file is clean, 1 otherwise.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+_TYPES = {
+    "object": dict,
+    "string": str,
+    "integer": int,
+    "number": (int, float),
+    "boolean": bool,
+}
+
+
+def validate(value, schema, path, errors):
+    """Validate `value` against the schema subset; append messages to errors."""
+    if "const" in schema and value != schema["const"]:
+        errors.append(f"{path}: expected {schema['const']!r}, got {value!r}")
+        return
+    if "type" in schema:
+        expected = _TYPES[schema["type"]]
+        ok = isinstance(value, expected)
+        if schema["type"] in ("integer", "number") and isinstance(value, bool):
+            ok = False  # bool is an int subclass in Python; the schema means numbers
+        if schema["type"] == "integer" and isinstance(value, float):
+            ok = value.is_integer()
+        if not ok:
+            errors.append(f"{path}: expected {schema['type']}, got {type(value).__name__}")
+            return
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append(f"{path}: {value!r} not in {schema['enum']}")
+    if "minimum" in schema and isinstance(value, (int, float)) and value < schema["minimum"]:
+        errors.append(f"{path}: {value} < minimum {schema['minimum']}")
+    if "minLength" in schema and isinstance(value, str) and len(value) < schema["minLength"]:
+        errors.append(f"{path}: shorter than {schema['minLength']}")
+    if isinstance(value, dict):
+        for key in schema.get("required", []):
+            if key not in value:
+                errors.append(f"{path}: missing required key {key!r}")
+        props = schema.get("properties", {})
+        for key, sub in props.items():
+            if key in value:
+                validate(value[key], sub, f"{path}.{key}", errors)
+        if schema.get("additionalProperties", True) is False:
+            for key in value:
+                if key not in props:
+                    errors.append(f"{path}: unexpected key {key!r}")
+
+
+def lint_file(trace_path, schema):
+    errors = []
+    with open(trace_path, "r", encoding="utf-8") as f:
+        text = f.read()
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as e:
+        return [f"not valid JSON: {e}"]
+
+    validate(doc, schema["top"], "$", errors)
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        errors.append("$.traceEvents: missing or not an array")
+        return errors
+
+    phases = schema["phases"]
+    data_events = 0
+    named_tracks = set()  # (pid, tid) with a thread_name record
+    named_pids = set()
+    used_tracks = set()
+    for i, ev in enumerate(events):
+        where = f"$.traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in phases:
+            errors.append(f"{where}: unknown ph {ph!r}")
+            continue
+        validate(ev, phases[ph], where, errors)
+        if ph == "M":
+            if ev.get("name") == "thread_name":
+                named_tracks.add((ev.get("pid"), ev.get("tid")))
+            elif ev.get("name") == "process_name":
+                named_pids.add(ev.get("pid"))
+        else:
+            data_events += 1
+            used_tracks.add((ev.get("pid"), ev.get("tid")))
+
+    declared = doc.get("otherData", {}).get("events")
+    if declared != data_events:
+        errors.append(f"otherData.events = {declared} but the file carries {data_events}")
+
+    for pid, tid in sorted(used_tracks):
+        if (pid, tid) not in named_tracks:
+            errors.append(f"track pid={pid} tid={tid} carries events but has no thread_name")
+        if pid not in named_pids:
+            errors.append(f"pid={pid} carries events but has no process_name")
+
+    # one-object-per-line: the number of lines mentioning "ph" equals the
+    # number of traceEvents entries
+    ph_lines = sum(1 for line in text.splitlines() if '"ph":' in line)
+    if ph_lines != len(events):
+        errors.append(f"{ph_lines} event lines for {len(events)} traceEvents entries "
+                      "(one-object-per-line invariant broken)")
+    return errors
+
+
+def main(argv):
+    default_schema = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                  "trace_schema.json")
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("traces", nargs="+", help="trace files written via QUDA_SIM_TRACE")
+    ap.add_argument("--schema", default=default_schema)
+    args = ap.parse_args(argv)
+
+    with open(args.schema, "r", encoding="utf-8") as f:
+        schema = json.load(f)
+
+    failed = False
+    for trace_path in args.traces:
+        errors = lint_file(trace_path, schema)
+        if errors:
+            failed = True
+            print(f"{trace_path}: FAIL", file=sys.stderr)
+            for e in errors[:50]:
+                print(f"  {e}", file=sys.stderr)
+            if len(errors) > 50:
+                print(f"  ... and {len(errors) - 50} more", file=sys.stderr)
+        else:
+            print(f"{trace_path}: OK")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
