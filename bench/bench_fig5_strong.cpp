@@ -13,27 +13,47 @@
 
 #include "bench_util.h"
 
+#include <cstring>
+
 using namespace quda;
 using namespace quda::bench;
 
 namespace {
 
 void run_subfigure(BenchJson& json, const char* title, LatticeDims global,
-                   const std::vector<int>& gpus, const std::vector<SolverSeries>& series) {
+                   const std::vector<int>& gpus, const std::vector<SolverSeries>& series,
+                   int iterations) {
   std::vector<std::vector<parallel::ModeledSolverResult>> results(series.size());
   for (std::size_t s = 0; s < series.size(); ++s)
-    for (int n : gpus) results[s].push_back(run_point(n, global, series[s]));
+    for (int n : gpus) results[s].push_back(run_point(n, global, series[s], iterations));
   print_scaling_table(title, gpus, series, results);
   record_scaling_points(json, title, gpus, series, results);
 }
 
 } // namespace
 
-int main() {
-  std::printf("Fig. 5: strong scaling on up to 32 GPUs\n");
+int main(int argc, char** argv) {
+  // --quick: a reduced sweep with stable point keys, cheap enough for the
+  // per-commit perf gate (tools/quick_gate.sh diffs its JSON against a
+  // baseline with tools/bench_diff.py)
+  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+  std::printf("Fig. 5: strong scaling on up to 32 GPUs%s\n", quick ? " (quick gate mode)" : "");
 
   BenchJson json("fig5_strong");
   json.config("scaling", "strong");
+  json.config("mode", quick ? "quick" : "full");
+
+  if (quick) {
+    run_subfigure(
+        json, "(b) V = 24^3 x 128 sites", {24, 24, 24, 128}, {2, 4},
+        {
+            {"single, no overlap", Precision::Single, std::nullopt, CommPolicy::NoOverlap},
+            {"single, overlap", Precision::Single, std::nullopt, CommPolicy::Overlap},
+        },
+        /*iterations=*/30);
+    json.write();
+    return 0;
+  }
 
   run_subfigure(
       json, "(a) V = 32^3 x 256 sites", {32, 32, 32, 256}, {4, 8, 16, 32},
@@ -44,7 +64,8 @@ int main() {
           {"single-half, overlap", Precision::Single, Precision::Half, CommPolicy::Overlap},
           {"s-h ovl, bad NUMA", Precision::Single, Precision::Half, CommPolicy::Overlap,
            /*good_numa=*/false},
-      });
+      },
+      /*iterations=*/100);
 
   run_subfigure(
       json, "(b) V = 24^3 x 128 sites", {24, 24, 24, 128}, {1, 2, 4, 8, 16, 32},
@@ -53,7 +74,8 @@ int main() {
           {"single-half, no ovl", Precision::Single, Precision::Half, CommPolicy::NoOverlap},
           {"single, overlap", Precision::Single, std::nullopt, CommPolicy::Overlap},
           {"single-half, overlap", Precision::Single, Precision::Half, CommPolicy::Overlap},
-      });
+      },
+      /*iterations=*/100);
 
   json.write();
   return 0;

@@ -167,6 +167,24 @@ inline void record_metrics(BenchJson& json, const trace::Metrics& m) {
   }
 }
 
+// attach the critical-path attribution of one run to the current JSON point
+inline void record_critpath(BenchJson& json, const trace::CritSummary& c) {
+  json.field("crit_valid", static_cast<double>(c.valid));
+  if (!c.valid) return;
+  json.field("crit_path_us", c.path_us);
+  json.field("crit_interior_us", c.interior_us());
+  json.field("crit_boundary_us", c.boundary_us());
+  json.field("crit_exposed_comm_us", c.exposed_comm_us());
+  json.field("crit_pcie_us", c.pcie_us());
+  json.field("crit_stall_us", c.stall_us());
+  json.field("crit_solver_us", c.solver_us());
+  json.field("crit_rank_hops", static_cast<double>(c.cross_rank_jumps));
+  json.field("compute_bound_us", c.compute_bound_us);
+  json.field("whatif_zero_latency_us", c.whatif_zero_latency_us);
+  json.field("whatif_free_pcie_us", c.whatif_free_pcie_us);
+  json.field("whatif_infinite_overlap_us", c.whatif_infinite_overlap_us);
+}
+
 // record one scaling table's results as JSON points (one per series x count)
 inline void record_scaling_points(BenchJson& json, const char* table,
                                   const std::vector<int>& gpu_counts,
@@ -184,7 +202,10 @@ inline void record_scaling_points(BenchJson& json, const char* table,
       if (r.fits) {
         json.field("gflops", r.effective_gflops);
         json.field("time_us", r.time_us);
-        if (r.traced) record_metrics(json, r.metrics);
+        if (r.traced) {
+          record_metrics(json, r.metrics);
+          record_critpath(json, r.critpath);
+        }
       }
     }
 }

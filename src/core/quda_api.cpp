@@ -286,7 +286,11 @@ InvertResult invert_multi_gpu(const sim::ClusterSpec& cluster_spec, const HostGa
   fr.recovered = fc.recovered_messages + result.stats.rollbacks;
   fr.recovery_time_us = fc.recovery_us;
   result.traced = cluster.trace().enabled;
-  if (result.traced) result.trace_metrics = trace::compute_metrics(cluster.trace());
+  if (result.traced) {
+    result.trace_metrics = trace::compute_metrics(cluster.trace());
+    result.critpath = trace::analyze_solve(
+        cluster.trace(), trace::ModelConfig{cluster_spec.device.dual_copy_engine});
+  }
   return result;
 }
 

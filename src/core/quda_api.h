@@ -19,6 +19,7 @@
 #include "parallel/policy.h"
 #include "sim/cluster_spec.h"
 #include "solvers/solver.h"
+#include "trace/attribution.h"
 #include "trace/metrics.h"
 
 #include <optional>
@@ -106,6 +107,7 @@ struct InvertResult {
   FaultReport faults;              // fault injection / recovery accounting
   bool traced = false;             // tracing was on; `trace_metrics` is meaningful
   trace::Metrics trace_metrics{};  // aggregated trace metrics of the solve
+  trace::CritSummary critpath{};   // critical-path attribution of the full run
 };
 
 // Solve M x = b on `ranks` simulated GPUs (time-direction decomposition).

@@ -67,9 +67,13 @@ public:
     const double done = start + bus_.transfer_time_us(bytes, dir, /*async=*/false, good_numa_);
     engine = done;
     bytes_transferred_ += bytes;
-    if (trace::RankTracer* tr = trace::current())
+    if (trace::RankTracer* tr = trace::current()) {
       tr->span(trace::Cat::Copy, dir == CopyDir::HostToDevice ? "memcpy_h2d" : "memcpy_d2h",
                trace::kTrackHost, start, done, bytes);
+      // edge: issued by the host at host_now (start-host_now = engine wait),
+      // weight = bus occupancy of the transfer
+      tr->dep(-1, host_now, done - start);
+    }
     return done;
   }
 
@@ -83,10 +87,12 @@ public:
     engine = done;
     s = done;
     bytes_transferred_ += bytes;
-    if (trace::RankTracer* tr = trace::current())
+    if (trace::RankTracer* tr = trace::current()) {
       tr->span(trace::Cat::Copy,
                dir == CopyDir::HostToDevice ? "memcpy_async_h2d" : "memcpy_async_d2h", stream,
                start, done, bytes);
+      tr->dep(-1, host_now, done - start);
+    }
     return host_now + kAsyncIssueOverheadUs;
   }
 
@@ -99,9 +105,13 @@ public:
     const double start = std::max(host_now, s) + kKernelLaunchOverheadUs;
     s = start + kernel_duration_us(cost, launch, spec_, double_precision);
     flops_executed_ += cost.flops;
-    if (trace::RankTracer* tr = trace::current())
+    if (trace::RankTracer* tr = trace::current()) {
       tr->span(trace::Cat::Kernel, cost.name, stream, start, s,
                static_cast<std::int64_t>(cost.bytes));
+      // edge: issued by the host at host_now, weight = execution duration
+      // (the launch overhead sits between the gating value and `start`)
+      tr->dep(-1, host_now, s - start);
+    }
     return host_now + kAsyncIssueOverheadUs;
   }
 
@@ -126,7 +136,14 @@ public:
   // make a stream wait for another stream's work issued so far (cuda event)
   void stream_wait_stream(int waiter, int waitee) {
     double& w = stream_ready_.at(static_cast<std::size_t>(waiter));
-    w = std::max(w, stream_ready_.at(static_cast<std::size_t>(waitee)));
+    const double src = stream_ready_.at(static_cast<std::size_t>(waitee));
+    w = std::max(w, src);
+    if (trace::RankTracer* tr = trace::current()) {
+      // cross-stream edge: the waiter's next op is gated by the waitee's
+      // ready value at insertion time (tag = waitee stream)
+      tr->instant(trace::Cat::Sync, "stream_wait", waiter, tr->now_us(), 0, -1, waitee);
+      tr->dep(-1, src, 0);
+    }
   }
 
   double stream_ready(int stream) const {

@@ -199,10 +199,15 @@ ModeledSolverResult run_modeled_solver(sim::VirtualCluster& cluster,
   result.faults = cluster.fault_totals();
   result.time_us = cluster.makespan_us();
   result.traced = cluster.trace().enabled;
-  if (result.traced) result.metrics = trace::compute_metrics(cluster.trace());
+  if (result.traced) {
+    result.metrics = trace::compute_metrics(cluster.trace());
+    result.critpath = trace::analyze_solve(
+        cluster.trace(), trace::ModelConfig{cluster.spec().device.dual_copy_engine});
+  }
   double total_flops = 0;
   for (double f : eff_flops) total_flops += f;
-  result.effective_gflops = total_flops / (result.time_us * 1e3); // flops/us -> Gflops
+  // flops/us -> Gflops (time_us is 0 only for degenerate no-op schedules)
+  result.effective_gflops = result.time_us > 0 ? total_flops / (result.time_us * 1e3) : 0.0;
   return result;
 }
 

@@ -15,6 +15,7 @@
 #include "parallel/halo_dslash.h"
 #include "perfmodel/footprint.h"
 #include "sim/event_sim.h"
+#include "trace/attribution.h"
 #include "trace/metrics.h"
 
 #include <optional>
@@ -48,6 +49,7 @@ struct ModeledSolverResult {
   sim::FaultCounters faults{};    // injection/recovery totals over all ranks
   bool traced = false;            // tracing was on; `metrics` is meaningful
   trace::Metrics metrics{};       // aggregated trace metrics of the solve
+  trace::CritSummary critpath{};  // critical-path attribution (traced runs)
 };
 
 // run the modeled solve on `cluster` (one rank per GPU); returns aggregate

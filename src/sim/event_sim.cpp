@@ -158,11 +158,13 @@ RecvHandle RankContext::wait(PendingRecv& pending, double wall_timeout_ms) {
   clock_.advance(spec_.net.mpi_overhead_us);
   if (tracer_.enabled()) {
     // the message's in-flight window on the comm track, and the host-side
-    // blocking window of the wait itself
+    // blocking window of the wait itself; the wait carries the
+    // happens-before edge back to the sender (send time + network path)
     tracer_.span(trace::Cat::Comm, "msg_flight", trace::kTrackComm, h.msg_.send_time_us,
                  h.arrival_us_, h.msg_.modeled_bytes, pending.src, pending.tag);
     tracer_.span(trace::Cat::Comm, "mpi_wait", trace::kTrackHost, wait_begin_us, clock_.now_us,
                  h.msg_.modeled_bytes, pending.src, pending.tag);
+    tracer_.dep(pending.src, h.msg_.send_time_us, path);
   }
   return h;
 }
@@ -189,12 +191,21 @@ void RankContext::allreduce_sum(double* values, int count) {
   if (std::int64_t(red.sum.size()) != count)
     throw std::logic_error("mismatched allreduce vector lengths across ranks");
   for (int i = 0; i < count; ++i) red.sum[static_cast<std::size_t>(i)] += values[i];
-  red.max_time = std::max(red.max_time, clock_.now_us);
+  // track the gating rank (argmax arrival, ties to the lowest rank so the
+  // record is deterministic under any OS interleaving of equal clocks)
+  if (red.arrived == 0 || clock_.now_us > red.max_time ||
+      (clock_.now_us == red.max_time && rank_ < red.max_rank)) {
+    red.max_time = clock_.now_us;
+    red.max_rank = rank_;
+  }
   if (++red.arrived == n) {
     red.result = std::move(red.sum);
     red.sum.clear();
     red.done_time = red.max_time + steps * step_cost;
+    red.done_gate_time = red.max_time;
+    red.done_gate_rank = red.max_rank;
     red.max_time = 0;
+    red.max_rank = -1;
     red.arrived = 0;
     ++red.generation;
     cluster_.cv_.notify_all();
@@ -211,6 +222,9 @@ void RankContext::allreduce_sum(double* values, int count) {
   for (int i = 0; i < count; ++i) values[i] = red.result[static_cast<std::size_t>(i)];
   tracer_.span(trace::Cat::Collective, "allreduce", trace::kTrackHost, reduce_begin_us,
                clock_.now_us, static_cast<std::int64_t>(count) * 8);
+  // rendezvous edge: the rank whose (latest) arrival gated this generation,
+  // its arrival time, and the tree-reduction cost on top of it
+  tracer_.dep(red.done_gate_rank, red.done_gate_time, steps * step_cost);
 }
 
 void RankContext::barrier() {

@@ -202,13 +202,20 @@ private:
   bool aborted_ = false; // a rank threw; peers must not block forever
   AbortKind abort_kind_ = AbortKind::None;
 
-  // allreduce state (generation-counted)
+  // allreduce state (generation-counted).  The gating rank -- the argmax of
+  // the arrival times, ties broken toward the lowest rank so the value is
+  // deterministic under any OS interleaving -- is latched per generation so
+  // every participant can record the rendezvous edge for the critical-path
+  // walk (trace/critpath.h).
   struct Reduction {
     int arrived = 0;
     std::vector<double> sum;
     double max_time = 0;
+    int max_rank = -1;
     std::vector<double> result;
     double done_time = 0;
+    double done_gate_time = 0;
+    int done_gate_rank = 0;
     std::int64_t generation = 0;
   } red_;
 

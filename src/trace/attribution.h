@@ -1,0 +1,61 @@
+#pragma once
+// Bottleneck attribution on top of the critical-path walk (critpath.h).
+//
+// The walk's typed segments tile [0, makespan] exactly; this layer folds
+// them into the paper's cost vocabulary -- interior vs boundary compute,
+// exposed communication, PCIe occupancy, stalls, solver-serial host time --
+// and bundles the what-if projections (zero-latency network, free PCIe,
+// infinite overlap) into one CritSummary that solver results and the
+// BENCH_<name>.json files carry.
+
+#include "trace/critpath.h"
+
+#include <string>
+
+namespace quda::trace {
+
+// attribution categories for critical-path time
+enum class PathCat : std::uint8_t {
+  Interior,     // interior/local compute (dslash interior, BLAS)
+  Boundary,     // boundary compute after the halo arrives
+  ExposedComm,  // network flight, blocked waits, collectives, framing overhead
+  Pcie,         // PCIe bus occupancy on the path
+  StallSync,    // launch overheads, issue gaps, unresolved sync stalls
+  SolverSerial, // host-serial solver logic between operations
+};
+inline constexpr int kNumPathCats = 6;
+
+const char* path_cat_name(PathCat cat);
+PathCat classify_segment(const PathSegment& seg);
+
+struct CritSummary {
+  bool valid = false; // model built, walk closed at t == 0, replays succeeded
+  std::string error;
+  double makespan_us = 0;          // end-to-end simulated time of the run
+  double path_us = 0;              // critical-path length (== makespan when valid)
+  double cat_us[kNumPathCats] = {};
+  int critical_rank = -1;
+  long cross_rank_jumps = 0;
+  std::size_t segments = 0;
+  double compute_bound_us = 0;       // per-stream kernel-time lower bound
+  double replay_identity_us = 0;     // forward replay, unedited weights
+  double whatif_zero_latency_us = 0; // net_scale = 0
+  double whatif_free_pcie_us = 0;    // pcie_scale = 0
+  double whatif_infinite_overlap_us = 0;
+
+  double interior_us() const { return cat_us[static_cast<int>(PathCat::Interior)]; }
+  double boundary_us() const { return cat_us[static_cast<int>(PathCat::Boundary)]; }
+  double exposed_comm_us() const { return cat_us[static_cast<int>(PathCat::ExposedComm)]; }
+  double pcie_us() const { return cat_us[static_cast<int>(PathCat::Pcie)]; }
+  double stall_us() const { return cat_us[static_cast<int>(PathCat::StallSync)]; }
+  double solver_us() const { return cat_us[static_cast<int>(PathCat::SolverSerial)]; }
+};
+
+// full analysis of one traced run: build the program model, walk the
+// critical path, attribute it, and run the standard what-if projections
+CritSummary analyze_solve(const TraceReport& report, const ModelConfig& config = {});
+
+// human-readable attribution table (README shows a sample)
+std::string attribution_table(const CritSummary& summary);
+
+} // namespace quda::trace

@@ -1,0 +1,780 @@
+#include "trace/critpath.h"
+
+#include <algorithm>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <tuple>
+
+namespace quda::trace {
+
+namespace {
+
+bool named(const Event& e, const char* name) { return std::strcmp(e.name, name) == 0; }
+
+// [begin, end) of a container span used for gap classification
+struct Interval {
+  double begin = 0;
+  double end = 0;
+};
+
+// reconstructed device resource (stream or copy engine): its ready value and
+// the op that last advanced it.  Invariant: value > 0 implies last_op >= 0.
+struct ResState {
+  double value = 0;
+  int last_op = -1;
+};
+
+// copy-engine index for a memcpy event, mirroring Device::pick_engine
+int engine_of(const Event& e, int num_engines) {
+  const bool h2d = std::strstr(e.name, "h2d") != nullptr;
+  return num_engines == 2 ? (h2d ? 0 : 1) : 0;
+}
+
+// per-rank extraction pass: turn the recorded event list into a RankProgram
+// whose Advance steps tile every host gap between anchors
+class RankExtractor {
+public:
+  RankExtractor(const std::vector<Event>& events, int rank, ProgramModel& model)
+      : events_(events), rank_(rank), model_(model), prog_(model.ranks[static_cast<std::size_t>(rank)]) {}
+
+  void run() {
+    collect_containers();
+    for (std::size_t i = 0; i < events_.size() && model_.ok(); ++i) dispatch(i);
+    if (!model_.ok()) return;
+    // trailing host time not followed by an anchor (e.g. the tail of the
+    // final container span) -- tile out to the latest host-side end so the
+    // rank's end anchor equals its final simulated clock
+    double final_end = cursor_;
+    for (const Event& e : events_)
+      if (e.track < 0) final_end = std::max(final_end, e.end_us);
+    push_gap(final_end);
+    prog_.end_us = cursor_;
+    prog_.num_streams = static_cast<int>(streams_.size());
+  }
+
+private:
+  void fail(const std::string& what) {
+    if (model_.error.empty())
+      model_.error = "rank " + std::to_string(rank_) + ": " + what;
+  }
+
+  // ---- pass 1: container spans classifying host gaps ------------------------
+
+  void collect_containers() {
+    for (const Event& e : events_) {
+      if (e.instant || e.track != kTrackHost) continue;
+      if (e.cat == Cat::Comm && (named(e, "send_frame") || named(e, "recv_frame")))
+        comm_ivs_.push_back({e.ts_us, e.end_us});
+      else if (e.cat == Cat::Op && (named(e, "halo_dslash") || named(e, "gauge_exchange")))
+        dev_ivs_.push_back({e.ts_us, e.end_us});
+    }
+    auto by_begin = [](const Interval& a, const Interval& b) { return a.begin < b.begin; };
+    std::sort(comm_ivs_.begin(), comm_ivs_.end(), by_begin);
+    std::sort(dev_ivs_.begin(), dev_ivs_.end(), by_begin);
+  }
+
+  // classify a gap by its midpoint; comm containers win over device ones
+  // because send/recv_frame nest inside halo_dslash.  Midpoints are
+  // monotonically increasing, so scan pointers suffice.
+  GapKind classify(double mid) {
+    while (comm_idx_ < comm_ivs_.size() && comm_ivs_[comm_idx_].end <= mid) ++comm_idx_;
+    if (comm_idx_ < comm_ivs_.size() && comm_ivs_[comm_idx_].begin <= mid)
+      return GapKind::CommOverhead;
+    while (dev_idx_ < dev_ivs_.size() && dev_ivs_[dev_idx_].end <= mid) ++dev_idx_;
+    if (dev_idx_ < dev_ivs_.size() && dev_ivs_[dev_idx_].begin <= mid)
+      return GapKind::DeviceIssue;
+    return GapKind::Solver;
+  }
+
+  // ---- pass 2 helpers -------------------------------------------------------
+
+  bool push_gap(double to) {
+    if (to < cursor_) {
+      fail("host anchor regressed in time");
+      return false;
+    }
+    if (to > cursor_) {
+      Step s;
+      s.kind = StepKind::Advance;
+      s.gap = classify(cursor_ + 0.5 * (to - cursor_));
+      s.begin_us = cursor_;
+      s.end_us = to;
+      prog_.steps.push_back(s);
+      cursor_ = to;
+    }
+    return true;
+  }
+
+  ResState& stream_state(int stream) {
+    if (stream >= static_cast<int>(streams_.size()))
+      streams_.resize(static_cast<std::size_t>(stream) + 1);
+    return streams_[static_cast<std::size_t>(stream)];
+  }
+
+  ResState& engine_state(int engine) {
+    if (engine >= static_cast<int>(engines_.size()))
+      engines_.resize(static_cast<std::size_t>(engine) + 1);
+    return engines_[static_cast<std::size_t>(engine)];
+  }
+
+  // ---- pass 2: event dispatch ----------------------------------------------
+
+  void dispatch(std::size_t i) {
+    const Event& e = events_[i];
+    if (e.track >= 0) {
+      if (e.cat == Cat::Kernel && !e.instant) return on_kernel(e);
+      if (e.cat == Cat::Copy && !e.instant) return on_async_copy(e);
+      if (e.cat == Cat::Sync && e.instant && named(e, "stream_wait")) return on_stream_wait(e);
+      return; // unknown stream activity: observational only, not modeled
+    }
+    if (e.track != kTrackHost) return; // comm / solver tracks are containers
+    switch (e.cat) {
+      case Cat::Comm:
+        if (e.instant && named(e, "isend")) return on_isend(e, i);
+        if (e.instant && named(e, "irecv")) return on_irecv(e);
+        if (!e.instant && named(e, "mpi_wait")) return on_wait(e);
+        return; // send_frame / recv_frame: containers
+      case Cat::Copy:
+        if (!e.instant) return on_sync_copy(e);
+        return;
+      case Cat::Sync:
+        if (!e.instant && named(e, "stream_sync")) return on_stream_sync(e);
+        if (!e.instant && named(e, "device_sync")) return on_device_sync(e);
+        return;
+      case Cat::Collective:
+        if (!e.instant) return on_collective(e);
+        return;
+      default:
+        return; // Fault / Solver / Op instants and containers
+    }
+  }
+
+  void on_isend(const Event& e, std::size_t i) {
+    if (!push_gap(e.ts_us)) return;
+    Step s;
+    s.kind = StepKind::Isend;
+    s.begin_us = s.end_us = e.ts_us;
+    s.peer = e.peer;
+    s.tag = e.tag;
+    // a dropped attempt is tagged by the fault tombstone recorded right after
+    s.dropped = i + 1 < events_.size() && events_[i + 1].cat == Cat::Fault &&
+                events_[i + 1].instant && named(events_[i + 1], "drop");
+    prog_.steps.push_back(s);
+  }
+
+  void on_irecv(const Event& e) {
+    if (!push_gap(e.ts_us)) return;
+    Step s;
+    s.kind = StepKind::Irecv;
+    s.begin_us = s.end_us = e.ts_us;
+    s.peer = e.peer;
+    s.tag = e.tag;
+    irecv_fifo_[{e.peer, e.tag}].push_back(static_cast<int>(prog_.steps.size()));
+    prog_.steps.push_back(s);
+  }
+
+  void on_wait(const Event& e) {
+    if (!push_gap(e.ts_us)) return;
+    if (e.dep_rank < 0) return fail("mpi_wait without a sender edge");
+    Step s;
+    s.kind = StepKind::Wait;
+    s.begin_us = e.ts_us;
+    s.end_us = e.end_us;
+    s.peer = e.peer;
+    s.tag = e.tag;
+    s.match_rank = e.dep_rank;
+    s.send_ts_us = e.dep_ts_us;
+    s.path_us = e.edge_us;
+    auto& q = irecv_fifo_[{e.peer, e.tag}];
+    if (q.empty()) return fail("mpi_wait without a posted irecv");
+    s.irecv_step = q.front();
+    q.pop_front();
+    s.post_ts_us = prog_.steps[static_cast<std::size_t>(s.irecv_step)].begin_us;
+    // bitwise recomputation of the recorded arrival gate
+    const double arrival = std::max(s.send_ts_us, s.post_ts_us) + s.path_us;
+    s.tail_us = e.end_us - std::max(e.ts_us, arrival);
+    if (s.tail_us < 0) return fail("mpi_wait ended before its recomputed arrival");
+    prog_.steps.push_back(s);
+    cursor_ = e.end_us;
+  }
+
+  void on_collective(const Event& e) {
+    if (!push_gap(e.ts_us)) return;
+    if (e.dep_rank < 0 || e.dep_rank >= static_cast<int>(model_.ranks.size()))
+      return fail("allreduce without a rendezvous edge");
+    Step s;
+    s.kind = StepKind::Collective;
+    s.begin_us = e.ts_us;
+    s.end_us = e.end_us;
+    s.gate_rank = e.dep_rank;
+    s.gate_ts_us = e.dep_ts_us;
+    s.tree_us = e.edge_us;
+    s.coll_index = static_cast<int>(model_.collective_steps[static_cast<std::size_t>(rank_)].size());
+    model_.collective_steps[static_cast<std::size_t>(rank_)].push_back(
+        static_cast<int>(prog_.steps.size()));
+    prog_.steps.push_back(s);
+    cursor_ = e.end_us;
+  }
+
+  void on_sync_copy(const Event& e) {
+    const double issue = e.dep_ts_us;
+    if (issue < 0) return fail("sync copy without an issue anchor");
+    if (!push_gap(issue)) return;
+    ResState& eng = engine_state(engine_of(e, model_.num_engines));
+    const double gate = std::max(issue, eng.value);
+    if (e.ts_us != gate) return fail("sync copy start does not match its engine gate");
+    DeviceOp op;
+    op.name = e.name;
+    op.engine = engine_of(e, model_.num_engines);
+    op.issue_us = issue;
+    op.gate_us = gate;
+    op.start_us = e.ts_us;
+    op.end_us = e.end_us;
+    op.pred_op = (eng.last_op >= 0 && eng.value == gate) ? eng.last_op : -1;
+    if (op.pred_op < 0 && gate != issue) return fail("sync copy gated by an untracked engine");
+    op.issue_step = static_cast<int>(prog_.steps.size());
+    const int oi = static_cast<int>(prog_.ops.size());
+    prog_.ops.push_back(op);
+    eng.value = e.end_us;
+    eng.last_op = oi;
+    Step s;
+    s.kind = StepKind::SyncCopy;
+    s.begin_us = issue;
+    s.end_us = e.end_us;
+    s.op = oi;
+    prog_.steps.push_back(s);
+    cursor_ = e.end_us;
+  }
+
+  void on_async_copy(const Event& e) {
+    const double issue = e.dep_ts_us;
+    if (issue < 0) return fail("async copy without an issue anchor");
+    if (!push_gap(issue)) return;
+    ResState& st = stream_state(e.track);
+    ResState& eng = engine_state(engine_of(e, model_.num_engines));
+    const double gate = std::max({issue, st.value, eng.value});
+    if (e.ts_us != gate) return fail("async copy start does not match its gate");
+    DeviceOp op;
+    op.name = e.name;
+    op.stream = e.track;
+    op.engine = engine_of(e, model_.num_engines);
+    op.issue_us = issue;
+    op.gate_us = gate;
+    op.start_us = e.ts_us;
+    op.end_us = e.end_us;
+    if (st.last_op >= 0 && st.value == gate)
+      op.pred_op = st.last_op;
+    else if (eng.last_op >= 0 && eng.value == gate)
+      op.pred_op = eng.last_op;
+    else
+      op.pred_op = -1;
+    if (op.pred_op < 0 && gate != issue) return fail("async copy gated by an untracked resource");
+    op.issue_step = static_cast<int>(prog_.steps.size());
+    const int oi = static_cast<int>(prog_.ops.size());
+    prog_.ops.push_back(op);
+    st.value = e.end_us;
+    st.last_op = oi;
+    eng.value = e.end_us;
+    eng.last_op = oi;
+    Step s;
+    s.kind = StepKind::AsyncCopy;
+    s.begin_us = s.end_us = issue;
+    s.op = oi;
+    s.stream = e.track;
+    prog_.steps.push_back(s);
+  }
+
+  void on_kernel(const Event& e) {
+    const double issue = e.dep_ts_us;
+    if (issue < 0) return fail("kernel without an issue anchor");
+    if (!push_gap(issue)) return;
+    ResState& st = stream_state(e.track);
+    const double gate = std::max(issue, st.value);
+    if (e.ts_us < gate) return fail("kernel started before its stream gate");
+    DeviceOp op;
+    op.is_kernel = true;
+    op.name = e.name;
+    op.stream = e.track;
+    op.issue_us = issue;
+    op.gate_us = gate;
+    op.start_us = e.ts_us; // gate + launch overhead
+    op.end_us = e.end_us;
+    op.pred_op = (st.last_op >= 0 && st.value == gate) ? st.last_op : -1;
+    if (op.pred_op < 0 && gate != issue) return fail("kernel gated by an untracked stream");
+    op.issue_step = static_cast<int>(prog_.steps.size());
+    const int oi = static_cast<int>(prog_.ops.size());
+    prog_.ops.push_back(op);
+    st.value = e.end_us;
+    st.last_op = oi;
+    Step s;
+    s.kind = StepKind::Kernel;
+    s.begin_us = s.end_us = issue;
+    s.op = oi;
+    s.stream = e.track;
+    prog_.steps.push_back(s);
+  }
+
+  void on_stream_wait(const Event& e) {
+    if (!push_gap(e.ts_us)) return;
+    const int waiter = e.track;
+    const int waitee = e.tag;
+    ResState& src = stream_state(waitee);
+    if (src.value != e.dep_ts_us) return fail("stream_wait source value mismatch");
+    ResState& dst = stream_state(waiter);
+    if (e.dep_ts_us > dst.value) {
+      dst.value = e.dep_ts_us;
+      dst.last_op = src.last_op;
+    }
+    Step s;
+    s.kind = StepKind::StreamWait;
+    s.begin_us = s.end_us = e.ts_us;
+    s.stream = waiter;
+    s.waitee = waitee;
+    prog_.steps.push_back(s);
+  }
+
+  void on_stream_sync(const Event& e) {
+    if (!push_gap(e.ts_us)) return;
+    const int stream = e.tag;
+    Step s;
+    s.kind = StepKind::StreamSync;
+    s.begin_us = e.ts_us;
+    s.end_us = e.end_us;
+    s.stream = stream;
+    if (e.end_us > e.ts_us) {
+      const ResState& st = stream_state(stream);
+      if (st.value != e.end_us || st.last_op < 0)
+        return fail("stream_sync end does not match the stream's last op");
+      s.pred_op = st.last_op;
+    }
+    prog_.steps.push_back(s);
+    cursor_ = e.end_us;
+  }
+
+  void on_device_sync(const Event& e) {
+    if (!push_gap(e.ts_us)) return;
+    Step s;
+    s.kind = StepKind::DeviceSync;
+    s.begin_us = e.ts_us;
+    s.end_us = e.end_us;
+    if (e.end_us > e.ts_us) {
+      for (const ResState& st : streams_)
+        if (st.value == e.end_us && st.last_op >= 0) s.pred_op = st.last_op;
+      if (s.pred_op < 0)
+        for (const ResState& eng : engines_)
+          if (eng.value == e.end_us && eng.last_op >= 0) s.pred_op = eng.last_op;
+      if (s.pred_op < 0) return fail("device_sync end does not match any device resource");
+    }
+    prog_.steps.push_back(s);
+    cursor_ = e.end_us;
+  }
+
+  const std::vector<Event>& events_;
+  const int rank_;
+  ProgramModel& model_;
+  RankProgram& prog_;
+  double cursor_ = 0;
+  std::vector<Interval> comm_ivs_, dev_ivs_;
+  std::size_t comm_idx_ = 0, dev_idx_ = 0;
+  std::vector<ResState> streams_, engines_;
+  std::map<std::pair<int, int>, std::deque<int>> irecv_fifo_; // (src, tag)
+};
+
+// match every Wait to its sender's Isend: FIFO per (src, dst, tag) channel,
+// dropped attempts excluded (the transport skips their tombstones)
+void link_channels(ProgramModel& model) {
+  std::map<std::tuple<int, int, int>, std::deque<int>> sends;
+  for (std::size_t r = 0; r < model.ranks.size(); ++r) {
+    const auto& steps = model.ranks[r].steps;
+    for (std::size_t i = 0; i < steps.size(); ++i)
+      if (steps[i].kind == StepKind::Isend && !steps[i].dropped)
+        sends[{static_cast<int>(r), steps[i].peer, steps[i].tag}].push_back(static_cast<int>(i));
+  }
+  for (std::size_t r = 0; r < model.ranks.size(); ++r) {
+    for (Step& s : model.ranks[r].steps) {
+      if (s.kind != StepKind::Wait) continue;
+      if (s.match_rank != s.peer) {
+        model.error = "mpi_wait edge names a rank other than its channel peer";
+        return;
+      }
+      auto& q = sends[{s.peer, static_cast<int>(r), s.tag}];
+      if (q.empty()) {
+        model.error = "mpi_wait without a matching isend on its channel";
+        return;
+      }
+      const int si = q.front();
+      q.pop_front();
+      const Step& snd = model.ranks[static_cast<std::size_t>(s.peer)].steps[static_cast<std::size_t>(si)];
+      if (snd.begin_us != s.send_ts_us) {
+        model.error = "matched isend time differs from the recorded send edge";
+        return;
+      }
+      s.match_step = si;
+    }
+  }
+}
+
+// cross-validate the rendezvous edges: every rank saw the same number of
+// collectives, and generation k's gate rank reached its k-th collective at
+// exactly the recorded gate time
+void link_collectives(ProgramModel& model) {
+  const std::size_t count = model.collective_steps.empty() ? 0 : model.collective_steps[0].size();
+  for (const auto& per_rank : model.collective_steps)
+    if (per_rank.size() != count) {
+      model.error = "ranks disagree on the number of collectives";
+      return;
+    }
+  model.num_collectives = count;
+  for (std::size_t k = 0; k < count; ++k) {
+    for (std::size_t r = 0; r < model.ranks.size(); ++r) {
+      const Step& s =
+          model.ranks[r].steps[static_cast<std::size_t>(model.collective_steps[r][k])];
+      const auto& gate_steps = model.collective_steps[static_cast<std::size_t>(s.gate_rank)];
+      const Step& g = model.ranks[static_cast<std::size_t>(s.gate_rank)]
+                          .steps[static_cast<std::size_t>(gate_steps[k])];
+      if (g.begin_us != s.gate_ts_us) {
+        model.error = "collective gate time differs from the gate rank's arrival";
+        return;
+      }
+    }
+  }
+}
+
+} // namespace
+
+ProgramModel build_model(const TraceReport& report, const ModelConfig& config) {
+  ProgramModel model;
+  model.num_engines = config.dual_copy_engine ? 2 : 1;
+  if (!report.enabled || report.per_rank.empty()) {
+    model.error = "trace is empty or was not enabled";
+    return model;
+  }
+  model.ranks.resize(report.per_rank.size());
+  model.collective_steps.resize(report.per_rank.size());
+  for (std::size_t r = 0; r < report.per_rank.size(); ++r) {
+    RankExtractor(report.per_rank[r], static_cast<int>(r), model).run();
+    if (!model.ok()) return model;
+  }
+  link_channels(model);
+  if (!model.ok()) return model;
+  link_collectives(model);
+  return model;
+}
+
+CriticalPath critical_path(const ProgramModel& model) {
+  CriticalPath cp;
+  if (!model.ok()) {
+    cp.error = model.error;
+    return cp;
+  }
+  if (model.ranks.empty()) {
+    cp.error = "empty model";
+    return cp;
+  }
+
+  int r = 0;
+  long total_steps = 0;
+  for (std::size_t i = 0; i < model.ranks.size(); ++i) {
+    if (model.ranks[i].end_us > model.ranks[static_cast<std::size_t>(r)].end_us)
+      r = static_cast<int>(i);
+    total_steps += static_cast<long>(model.ranks[i].steps.size()) +
+                   static_cast<long>(model.ranks[i].ops.size());
+  }
+  cp.critical_rank = r;
+  cp.makespan_us = model.ranks[static_cast<std::size_t>(r)].end_us;
+
+  double t = cp.makespan_us;
+  int i = static_cast<int>(model.ranks[static_cast<std::size_t>(r)].steps.size()) - 1;
+  long safety = 4 * total_steps + 64;
+
+  auto emit = [&](SegKind kind, GapKind gap, const char* label, double begin, double end) {
+    if (end > begin) cp.segments.push_back({r, kind, gap, label, begin, end});
+  };
+
+  // descend a device chain: t == ops[oi].end_us on entry; exits back to the
+  // host walk at the first host-gated op's issue anchor
+  auto descend = [&](int oi) -> bool {
+    for (;;) {
+      const DeviceOp& op = model.ranks[static_cast<std::size_t>(r)].ops[static_cast<std::size_t>(oi)];
+      if (t != op.end_us) return false;
+      emit(op.is_kernel ? SegKind::KernelExec : SegKind::CopyExec, GapKind::Solver, op.name,
+           op.start_us, op.end_us);
+      emit(SegKind::LaunchGap, GapKind::Solver, "kernel_launch", op.gate_us, op.start_us);
+      t = op.gate_us;
+      if (op.pred_op >= 0) {
+        oi = op.pred_op;
+        continue;
+      }
+      // host-gated: gate == issue (build_model validated), resume the host
+      // walk just before the issuing step
+      t = op.issue_us;
+      i = op.issue_step - 1;
+      return true;
+    }
+  };
+
+  while (i >= 0) {
+    if (--safety < 0) {
+      cp.error = "critical-path walk did not terminate";
+      cp.walk_end_us = t;
+      return cp;
+    }
+    const Step& s = model.ranks[static_cast<std::size_t>(r)].steps[static_cast<std::size_t>(i)];
+    if (t != s.end_us) {
+      cp.error = "critical-path walk lost anchor alignment";
+      cp.walk_end_us = t;
+      return cp;
+    }
+    switch (s.kind) {
+      case StepKind::Advance:
+        emit(SegKind::HostGap, s.gap, "host", s.begin_us, s.end_us);
+        t = s.begin_us;
+        --i;
+        break;
+      case StepKind::Isend:
+      case StepKind::Irecv:
+      case StepKind::Kernel:
+      case StepKind::AsyncCopy:
+      case StepKind::StreamWait:
+        --i; // zero-width anchors
+        break;
+      case StepKind::Wait: {
+        const double arrival = std::max(s.send_ts_us, s.post_ts_us) + s.path_us;
+        emit(SegKind::CommTail, GapKind::Solver, "mpi_wait", std::max(s.begin_us, arrival),
+             s.end_us);
+        if (arrival > s.begin_us) {
+          emit(SegKind::MsgFlight, GapKind::Solver, "msg_flight",
+               std::max(s.send_ts_us, s.post_ts_us), arrival);
+          if (s.send_ts_us >= s.post_ts_us) {
+            // the sender gated the arrival: hop to its isend anchor
+            r = s.match_rank;
+            i = s.match_step;
+            t = s.send_ts_us;
+            ++cp.cross_rank_jumps;
+          } else {
+            // our late irecv gated it: continue locally at the post anchor
+            i = s.irecv_step;
+            t = s.post_ts_us;
+          }
+        } else {
+          t = s.begin_us;
+          --i;
+        }
+        break;
+      }
+      case StepKind::Collective: {
+        emit(SegKind::CollectiveTree, GapKind::Solver, "allreduce", s.gate_ts_us, s.end_us);
+        if (s.gate_rank == r) {
+          t = s.gate_ts_us; // == s.begin_us: this rank arrived last
+          --i;
+        } else {
+          const int gi =
+              model.collective_steps[static_cast<std::size_t>(s.gate_rank)]
+                                    [static_cast<std::size_t>(s.coll_index)];
+          r = s.gate_rank;
+          i = gi - 1; // resume just before the gate rank's collective step
+          t = s.gate_ts_us;
+          ++cp.cross_rank_jumps;
+        }
+        break;
+      }
+      case StepKind::SyncCopy:
+        if (!descend(s.op)) {
+          cp.error = "device chain walk lost alignment";
+          cp.walk_end_us = t;
+          return cp;
+        }
+        break;
+      case StepKind::StreamSync:
+      case StepKind::DeviceSync:
+        if (s.end_us == s.begin_us) {
+          --i;
+        } else if (s.pred_op >= 0) {
+          if (!descend(s.pred_op)) {
+            cp.error = "device chain walk lost alignment";
+            cp.walk_end_us = t;
+            return cp;
+          }
+        } else {
+          emit(SegKind::SyncStall, GapKind::Solver, "sync", s.begin_us, s.end_us);
+          t = s.begin_us;
+          --i;
+        }
+        break;
+    }
+  }
+
+  cp.walk_end_us = t;
+  cp.path_us = cp.makespan_us - t;
+  cp.ok = t == 0.0;
+  if (!cp.ok) cp.error = "walk stopped short of time zero";
+  return cp;
+}
+
+ReplayResult replay(const ProgramModel& model, const WhatIf& w) {
+  ReplayResult res;
+  if (!model.ok()) {
+    res.error = model.error;
+    return res;
+  }
+  const std::size_t n = model.ranks.size();
+
+  struct RankState {
+    std::size_t pc = 0;
+    double cursor = 0;
+    std::vector<double> streams, engines;
+    std::vector<double> send_t, post_t; // per-step replayed anchors
+    bool registered = false;            // arrival posted at the blocking collective
+  };
+  std::vector<RankState> st(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    st[r].streams.assign(static_cast<std::size_t>(std::max(model.ranks[r].num_streams, 1)), 0.0);
+    st[r].engines.assign(static_cast<std::size_t>(model.num_engines), 0.0);
+    st[r].send_t.assign(model.ranks[r].steps.size(), -1.0);
+    st[r].post_t.assign(model.ranks[r].steps.size(), -1.0);
+  }
+
+  struct CollState {
+    int arrived = 0;
+    double maxv = 0;
+    bool done = false;
+    double done_t = 0;
+  };
+  std::vector<CollState> colls(model.num_collectives);
+
+  for (;;) {
+    bool progress = false;
+    bool all_done = true;
+    for (std::size_t r = 0; r < n; ++r) {
+      RankState& rs = st[r];
+      const RankProgram& prog = model.ranks[r];
+      while (rs.pc < prog.steps.size()) {
+        const Step& s = prog.steps[rs.pc];
+        bool blocked = false;
+        switch (s.kind) {
+          case StepKind::Advance:
+            rs.cursor += s.end_us - s.begin_us;
+            break;
+          case StepKind::Isend:
+            rs.send_t[rs.pc] = rs.cursor;
+            break;
+          case StepKind::Irecv:
+            rs.post_t[rs.pc] = rs.cursor;
+            break;
+          case StepKind::Wait: {
+            if (w.infinite_overlap) {
+              rs.cursor += s.tail_us; // comm fully hidden: only the local tail
+              break;
+            }
+            const double snd =
+                st[static_cast<std::size_t>(s.match_rank)].send_t[static_cast<std::size_t>(s.match_step)];
+            if (snd < 0) {
+              blocked = true;
+              break;
+            }
+            const double post = rs.post_t[static_cast<std::size_t>(s.irecv_step)];
+            const double arrival = std::max(snd, post) + s.path_us * w.net_scale;
+            rs.cursor = std::max(rs.cursor, arrival) + s.tail_us;
+            break;
+          }
+          case StepKind::Collective: {
+            CollState& c = colls[static_cast<std::size_t>(s.coll_index)];
+            if (!rs.registered) {
+              rs.registered = true;
+              c.maxv = c.arrived == 0 ? rs.cursor : std::max(c.maxv, rs.cursor);
+              if (++c.arrived == static_cast<int>(n)) {
+                c.done = true;
+                c.done_t = c.maxv + s.tree_us * w.net_scale;
+              }
+              progress = true;
+            }
+            if (!c.done) {
+              blocked = true;
+              break;
+            }
+            rs.cursor = std::max(rs.cursor, c.done_t);
+            rs.registered = false;
+            break;
+          }
+          case StepKind::SyncCopy: {
+            const DeviceOp& op = prog.ops[static_cast<std::size_t>(s.op)];
+            double& eng = rs.engines[static_cast<std::size_t>(op.engine)];
+            const double start = std::max(rs.cursor, eng);
+            const double end = start + (op.end_us - op.start_us) * w.pcie_scale;
+            eng = end;
+            if (!w.infinite_overlap) rs.cursor = end;
+            break;
+          }
+          case StepKind::AsyncCopy: {
+            const DeviceOp& op = prog.ops[static_cast<std::size_t>(s.op)];
+            double& eng = rs.engines[static_cast<std::size_t>(op.engine)];
+            double& str = rs.streams[static_cast<std::size_t>(op.stream)];
+            const double start = std::max({rs.cursor, eng, str});
+            const double end = start + (op.end_us - op.start_us) * w.pcie_scale;
+            eng = end;
+            str = end;
+            break;
+          }
+          case StepKind::Kernel: {
+            const DeviceOp& op = prog.ops[static_cast<std::size_t>(s.op)];
+            double& str = rs.streams[static_cast<std::size_t>(op.stream)];
+            const double start =
+                std::max(rs.cursor, str) + (op.start_us - op.gate_us); // launch overhead
+            str = start + (op.end_us - op.start_us) * w.kernel_scale;
+            break;
+          }
+          case StepKind::StreamSync:
+            if (!w.infinite_overlap)
+              rs.cursor = std::max(rs.cursor, rs.streams[static_cast<std::size_t>(s.stream)]);
+            break;
+          case StepKind::DeviceSync:
+            if (!w.infinite_overlap) {
+              for (double v : rs.streams) rs.cursor = std::max(rs.cursor, v);
+              for (double v : rs.engines) rs.cursor = std::max(rs.cursor, v);
+            }
+            break;
+          case StepKind::StreamWait: {
+            double& waiter = rs.streams[static_cast<std::size_t>(s.stream)];
+            waiter = std::max(waiter, rs.streams[static_cast<std::size_t>(s.waitee)]);
+            break;
+          }
+        }
+        if (blocked) break;
+        ++rs.pc;
+        progress = true;
+      }
+      if (rs.pc < prog.steps.size()) all_done = false;
+    }
+    if (all_done) break;
+    if (!progress) {
+      res.error = "replay deadlocked";
+      return res;
+    }
+  }
+
+  res.rank_end_us.resize(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    double end = st[r].cursor;
+    for (double v : st[r].streams) end = std::max(end, v);
+    for (double v : st[r].engines) end = std::max(end, v);
+    res.rank_end_us[r] = end;
+    res.makespan_us = std::max(res.makespan_us, end);
+  }
+  res.ok = true;
+  return res;
+}
+
+double compute_bound_us(const ProgramModel& model) {
+  double bound = 0;
+  for (const RankProgram& prog : model.ranks) {
+    std::vector<double> per_stream(static_cast<std::size_t>(std::max(prog.num_streams, 1)), 0.0);
+    for (const DeviceOp& op : prog.ops)
+      if (op.is_kernel && op.stream >= 0)
+        per_stream[static_cast<std::size_t>(op.stream)] += op.end_us - op.start_us;
+    for (double v : per_stream) bound = std::max(bound, v);
+  }
+  return bound;
+}
+
+} // namespace quda::trace

@@ -33,6 +33,10 @@ struct KernelStat {
     ++count;
     total_us += dur_us;
   }
+
+  // guarded mean: an empty histogram (e.g. a zero-iteration solve) reports 0
+  // rather than dividing by a zero count
+  double mean_us() const { return count > 0 ? total_us / static_cast<double>(count) : 0.0; }
 };
 
 struct Metrics {

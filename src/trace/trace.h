@@ -57,10 +57,26 @@ struct Event {
   int track = kTrackHost;
   double ts_us = 0;       // simulated begin time
   double dur_us = 0;      // simulated duration (spans only, >= 0)
+  double end_us = 0;      // exact recorded end time (spans; == ts_us for
+                          // instants).  Kept alongside dur_us because
+                          // ts + (end - ts) is not bitwise end, and the
+                          // critical-path walk (critpath.h) needs the exact
+                          // doubles the gating max() computations produced.
   std::int64_t bytes = 0; // modeled payload bytes (0 when not applicable)
   int peer = -1;          // peer rank for comm events
   int tag = -1;           // message tag for comm events
   std::int64_t seq = -1;  // message sequence / iteration number
+
+  // Happens-before edge of this event, when it has one (critpath.h walks
+  // these).  dep_rank >= 0 names the rank whose activity gated this event
+  // (mpi_wait: the sender; allreduce: the rendezvous-gating rank); -1 with
+  // dep_ts_us >= 0 means a local dependency (copy/kernel issue anchor,
+  // stream_wait source value).  edge_us is the modeled weight of the edge
+  // (network flight, tree cost, transfer or kernel duration).  Excluded
+  // from sequence_digest: like timestamps, these are timing-derived.
+  int dep_rank = -1;
+  double dep_ts_us = -1;
+  double edge_us = 0;
 };
 
 // Per-rank event sink.  Bound to the rank's clock so layers without clock
@@ -87,6 +103,7 @@ public:
     e.track = track;
     e.ts_us = begin_us;
     e.dur_us = end_us > begin_us ? end_us - begin_us : 0.0;
+    e.end_us = end_us > begin_us ? end_us : begin_us;
     e.bytes = bytes;
     e.peer = peer;
     e.tag = tag;
@@ -103,11 +120,22 @@ public:
     e.instant = true;
     e.track = track;
     e.ts_us = ts_us;
+    e.end_us = ts_us;
     e.bytes = bytes;
     e.peer = peer;
     e.tag = tag;
     e.seq = seq;
     events_.push_back(e);
+  }
+
+  // attach a happens-before edge to the most recently recorded event (the
+  // emitting layer knows the gating value right where it records the span)
+  void dep(int dep_rank, double dep_ts_us, double edge_us) {
+    if (!enabled_ || events_.empty()) return;
+    Event& e = events_.back();
+    e.dep_rank = dep_rank;
+    e.dep_ts_us = dep_ts_us;
+    e.edge_us = edge_us;
   }
 
   const std::vector<Event>& events() const { return events_; }

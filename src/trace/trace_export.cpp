@@ -60,7 +60,8 @@ void append_event(std::string& out, int pid, const Event& e, bool& first) {
   if (!e.instant) out += ", \"dur\": " + num(e.dur_us);
   out += ", \"args\": {\"bytes\": " + std::to_string(e.bytes) +
          ", \"peer\": " + std::to_string(e.peer) + ", \"tag\": " + std::to_string(e.tag) +
-         ", \"seq\": " + std::to_string(e.seq) + "}}";
+         ", \"seq\": " + std::to_string(e.seq) + ", \"dep_rank\": " + std::to_string(e.dep_rank) +
+         ", \"dep_ts\": " + num(e.dep_ts_us) + ", \"edge_us\": " + num(e.edge_us) + "}}";
 }
 
 } // namespace

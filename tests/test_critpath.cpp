@@ -1,0 +1,256 @@
+// Critical-path analyzer tests (src/trace/critpath, src/trace/attribution).
+//
+// The analyzer's contract is exactness, so the tests assert bitwise and
+// near-machine-precision identities, not tolerances-of-convenience:
+//   * the backward walk's path length equals the end-to-end simulated time
+//     EXACTLY (the walk uses only recorded doubles and recomputes every
+//     cross-rank arrival with the same expression the simulator used);
+//   * the typed segments tile [0, makespan], so the attribution categories
+//     sum to the path length;
+//   * the forward replay with unedited weights reproduces the makespan, and
+//     every monotone what-if projection is bracketed by the compute bound
+//     below and the measured time above;
+//   * the paper's qualitative structure shows up in the attribution:
+//     NoOverlap exposes far more communication than Overlap at fig5 sizes.
+
+#include "core/quda_api.h"
+#include "dirac/gauge_init.h"
+#include "parallel/modeled_solver.h"
+#include "trace/attribution.h"
+#include "trace/critpath.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+namespace quda {
+namespace {
+
+using parallel::ModeledSolverConfig;
+using parallel::ModeledSolverResult;
+
+struct AnalyzedRun {
+  ModeledSolverResult result;
+  trace::CritSummary crit; // re-derived from the raw report (independent of
+                           // the copy run_modeled_solver attaches)
+  double makespan_us = 0;
+};
+
+AnalyzedRun run_analyzed(int ranks, const ModeledSolverConfig& cfg,
+                         const sim::FaultConfig& faults = {}) {
+  sim::ClusterSpec spec = sim::ClusterSpec::jlab_9g(ranks);
+  spec.trace.enabled = true;
+  spec.faults = faults;
+  sim::VirtualCluster cluster(spec);
+  AnalyzedRun a;
+  a.result = parallel::run_modeled_solver(cluster, cfg);
+  a.crit = trace::analyze_solve(cluster.trace(),
+                                trace::ModelConfig{spec.device.dual_copy_engine});
+  a.makespan_us = cluster.makespan_us();
+  return a;
+}
+
+// fig5(b)-sized local problem: global 24^3 x 32 over 2 GPUs
+ModeledSolverConfig fig5_config(CommPolicy policy, int iterations = 30) {
+  ModeledSolverConfig cfg;
+  cfg.local = LatticeDims{24, 24, 24, 16};
+  cfg.outer = Precision::Single;
+  cfg.sloppy = Precision::Half;
+  cfg.policy = policy;
+  cfg.iterations = iterations;
+  cfg.reliable_interval = 10;
+  return cfg;
+}
+
+double cat_sum(const trace::CritSummary& c) {
+  double s = 0;
+  for (int i = 0; i < trace::kNumPathCats; ++i) s += c.cat_us[i];
+  return s;
+}
+
+// --- exactness invariants on real solves -------------------------------------
+
+class CritPathPolicies : public ::testing::TestWithParam<CommPolicy> {};
+
+TEST_P(CritPathPolicies, PathLengthEqualsEndToEndTimeExactly) {
+  const AnalyzedRun a = run_analyzed(2, fig5_config(GetParam()));
+  ASSERT_TRUE(a.result.fits);
+  ASSERT_TRUE(a.crit.valid) << a.crit.error;
+  // bitwise: the walk closed at t == 0 and every segment endpoint is a
+  // recorded double, so no epsilon is needed or tolerated
+  EXPECT_EQ(a.crit.path_us, a.result.time_us);
+  EXPECT_EQ(a.crit.makespan_us, a.makespan_us);
+  EXPECT_GE(a.crit.critical_rank, 0);
+  EXPECT_LT(a.crit.critical_rank, 2);
+  EXPECT_GT(a.crit.segments, 0u);
+}
+
+TEST_P(CritPathPolicies, CategoriesTileTheCriticalPath) {
+  const AnalyzedRun a = run_analyzed(2, fig5_config(GetParam()));
+  ASSERT_TRUE(a.crit.valid) << a.crit.error;
+  // the sum re-associates many recorded doubles, so allow rounding only
+  EXPECT_NEAR(cat_sum(a.crit), a.crit.path_us, 1e-9 * a.crit.path_us);
+  for (int i = 0; i < trace::kNumPathCats; ++i)
+    EXPECT_GE(a.crit.cat_us[i], 0.0) << trace::path_cat_name(static_cast<trace::PathCat>(i));
+}
+
+TEST_P(CritPathPolicies, WhatIfProjectionsAreBracketed) {
+  const AnalyzedRun a = run_analyzed(2, fig5_config(GetParam()));
+  ASSERT_TRUE(a.crit.valid) << a.crit.error;
+  // monotone max-plus: removing edge weight can only shrink the makespan,
+  // and kernel time per stream survives every projection
+  EXPECT_GT(a.crit.compute_bound_us, 0.0);
+  EXPECT_LE(a.crit.compute_bound_us, a.crit.whatif_zero_latency_us);
+  EXPECT_LE(a.crit.whatif_zero_latency_us, a.crit.makespan_us);
+  EXPECT_LE(a.crit.whatif_free_pcie_us, a.crit.makespan_us);
+  EXPECT_LE(a.crit.whatif_infinite_overlap_us, a.crit.makespan_us);
+  // identity replay re-derives the recorded schedule
+  EXPECT_NEAR(a.crit.replay_identity_us, a.crit.makespan_us, 1e-6 * a.crit.makespan_us);
+}
+
+TEST_P(CritPathPolicies, AnalysisIsDeterministicAcrossRuns) {
+  const AnalyzedRun a = run_analyzed(2, fig5_config(GetParam(), /*iterations=*/10));
+  const AnalyzedRun b = run_analyzed(2, fig5_config(GetParam(), /*iterations=*/10));
+  ASSERT_TRUE(a.crit.valid) << a.crit.error;
+  ASSERT_TRUE(b.crit.valid) << b.crit.error;
+  EXPECT_EQ(a.crit.path_us, b.crit.path_us);
+  EXPECT_EQ(a.crit.critical_rank, b.crit.critical_rank);
+  EXPECT_EQ(a.crit.segments, b.crit.segments);
+  EXPECT_EQ(a.crit.cross_rank_jumps, b.crit.cross_rank_jumps);
+  for (int i = 0; i < trace::kNumPathCats; ++i) EXPECT_EQ(a.crit.cat_us[i], b.crit.cat_us[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothPolicies, CritPathPolicies,
+                         ::testing::Values(CommPolicy::Overlap, CommPolicy::NoOverlap),
+                         [](const ::testing::TestParamInfo<CommPolicy>& info) {
+                           return info.param == CommPolicy::Overlap ? "Overlap" : "NoOverlap";
+                         });
+
+// --- the paper's structure in the attribution --------------------------------
+
+TEST(CritPathAttribution, NoOverlapExposesMoreCommThanOverlap) {
+  const AnalyzedRun no = run_analyzed(2, fig5_config(CommPolicy::NoOverlap));
+  const AnalyzedRun ov = run_analyzed(2, fig5_config(CommPolicy::Overlap));
+  ASSERT_TRUE(no.crit.valid) << no.crit.error;
+  ASSERT_TRUE(ov.crit.valid) << ov.crit.error;
+  // the whole point of the overlapped pipeline: communication leaves the
+  // critical path.  At fig5(b) sizes the gap is large, not marginal.
+  EXPECT_GT(no.crit.exposed_comm_us(), 2.0 * ov.crit.exposed_comm_us());
+  // both runs are compute-dominated at this local volume
+  EXPECT_GT(no.crit.interior_us() + no.crit.boundary_us(), no.crit.exposed_comm_us());
+}
+
+TEST(CritPathAttribution, SoloRankHasNoExposedCommAndNoRankHops) {
+  ModeledSolverConfig cfg = fig5_config(CommPolicy::Overlap);
+  cfg.local = LatticeDims{24, 24, 24, 32};
+  const AnalyzedRun a = run_analyzed(1, cfg);
+  ASSERT_TRUE(a.result.fits);
+  ASSERT_TRUE(a.crit.valid) << a.crit.error;
+  EXPECT_EQ(a.crit.path_us, a.result.time_us);
+  EXPECT_EQ(a.crit.cross_rank_jumps, 0);
+  EXPECT_EQ(a.crit.critical_rank, 0);
+  // a 1-rank solve has no halo messages to expose (the boundary kernels
+  // still run: periodic wrap within the rank)
+  EXPECT_DOUBLE_EQ(a.crit.exposed_comm_us(), 0.0);
+}
+
+TEST(CritPathAttribution, WalkStaysExactUnderFaultInjection) {
+  // retransmissions, checksum failures and stalls reshape the DAG but every
+  // edge is still recorded, so the walk must still close at time zero
+  sim::FaultConfig faults;
+  faults.seed = 7;
+  faults.drop_rate = 2e-3;
+  faults.corrupt_rate = 2e-3;
+  ModeledSolverConfig cfg = fig5_config(CommPolicy::Overlap);
+  cfg.local = LatticeDims{8, 8, 8, 16};
+  cfg.iterations = 60;
+  cfg.retry.checksums = true;
+  cfg.retry.max_retries = 6;
+  const AnalyzedRun a = run_analyzed(4, cfg, faults);
+  ASSERT_TRUE(a.crit.valid) << a.crit.error;
+  EXPECT_GT(a.result.faults.retries, 0) << "faults must actually fire";
+  EXPECT_EQ(a.crit.path_us, a.result.time_us);
+  EXPECT_NEAR(cat_sum(a.crit), a.crit.path_us, 1e-9 * a.crit.path_us);
+}
+
+TEST(CritPathAttribution, SolverResultCarriesTheSameSummary) {
+  // run_modeled_solver attaches the analysis; it must match a re-derivation
+  // from the same report
+  const AnalyzedRun a = run_analyzed(2, fig5_config(CommPolicy::Overlap, /*iterations=*/10));
+  ASSERT_TRUE(a.result.traced);
+  ASSERT_TRUE(a.result.critpath.valid) << a.result.critpath.error;
+  EXPECT_EQ(a.result.critpath.path_us, a.crit.path_us);
+  for (int i = 0; i < trace::kNumPathCats; ++i)
+    EXPECT_EQ(a.result.critpath.cat_us[i], a.crit.cat_us[i]);
+}
+
+// --- degenerate inputs and rendering -----------------------------------------
+
+TEST(CritPathDegenerate, EmptyReportIsInvalidWithError) {
+  trace::TraceReport empty;
+  const trace::CritSummary c = trace::analyze_solve(empty);
+  EXPECT_FALSE(c.valid);
+  EXPECT_FALSE(c.error.empty());
+  EXPECT_EQ(c.path_us, 0.0);
+  // the renderer must degrade gracefully, not crash or print a table of zeros
+  const std::string table = trace::attribution_table(c);
+  EXPECT_NE(table.find("unavailable"), std::string::npos);
+}
+
+TEST(CritPathDegenerate, UntracedRunYieldsInvalidSummary) {
+  sim::ClusterSpec spec = sim::ClusterSpec::jlab_9g(2);
+  sim::VirtualCluster cluster(spec);
+  const ModeledSolverResult r =
+      parallel::run_modeled_solver(cluster, fig5_config(CommPolicy::Overlap, 5));
+  ASSERT_TRUE(r.fits);
+  EXPECT_FALSE(r.traced);
+  EXPECT_FALSE(r.critpath.valid);
+}
+
+TEST(CritPathDegenerate, AttributionTableNamesEveryCategory) {
+  const AnalyzedRun a = run_analyzed(2, fig5_config(CommPolicy::Overlap, /*iterations=*/10));
+  ASSERT_TRUE(a.crit.valid) << a.crit.error;
+  const std::string table = trace::attribution_table(a.crit);
+  ASSERT_FALSE(table.empty());
+  for (int i = 0; i < trace::kNumPathCats; ++i)
+    EXPECT_NE(table.find(trace::path_cat_name(static_cast<trace::PathCat>(i))),
+              std::string::npos)
+        << table;
+  EXPECT_NE(table.find("what-if"), std::string::npos) << table;
+}
+
+// --- full public-API run (Real execution mode) -------------------------------
+
+TEST(CritPathApi, InvertAttributesItsFullTimeline) {
+  // the analyzer must close over a complete invertQuda-style run -- setup,
+  // reordering, mixed-precision solve, reliable updates -- not just the
+  // modeled inner loop
+  Geometry g{LatticeDims{4, 4, 4, 8}};
+  HostGaugeField u(g);
+  HostSpinorField b(g), x(g);
+  make_weak_field_gauge(u, 0.2, 9000);
+  make_random_spinor(b, 9001);
+  InvertParams params;
+  params.mass = 0.1;
+  params.tol = 1e-6;
+  params.precision = Precision::Single;
+  params.max_iter = 500;
+
+  sim::ClusterSpec spec = sim::ClusterSpec::jlab_9g(2);
+  spec.trace.enabled = true;
+  const InvertResult r = invert_multi_gpu(spec, u, b, x, params);
+  EXPECT_TRUE(r.stats.converged) << r.stats.summary();
+  ASSERT_TRUE(r.traced);
+  ASSERT_TRUE(r.critpath.valid) << r.critpath.error;
+  // the attribution covers the whole timeline; simulated_time_us is the
+  // solve window only (setup excluded), so the path strictly contains it
+  EXPECT_EQ(r.critpath.path_us, r.critpath.makespan_us);
+  EXPECT_GE(r.critpath.path_us, r.simulated_time_us);
+  EXPECT_NEAR(cat_sum(r.critpath), r.critpath.path_us, 1e-9 * r.critpath.path_us);
+  EXPECT_GT(r.critpath.compute_bound_us, 0.0);
+  EXPECT_LE(r.critpath.whatif_zero_latency_us, r.critpath.makespan_us);
+}
+
+} // namespace
+} // namespace quda

@@ -1,0 +1,40 @@
+// Helper binary for the TraceLint ctest fixture: runs a small deterministic
+// 2-rank Overlap solve with tracing on and writes the Chrome JSON export to
+// argv[1].  The companion TraceLint.validate test then runs
+// tools/trace_lint.py over the file, so every `ctest` invocation checks the
+// exporter against tools/trace_schema.json -- including the happens-before
+// dep fields the critical-path analyzer consumes.
+
+#include "parallel/modeled_solver.h"
+#include "trace/trace_export.h"
+
+#include <cstdio>
+
+int main(int argc, char** argv) {
+  using namespace quda;
+  const char* path = argc > 1 ? argv[1] : "trace_lint_fixture.json";
+
+  sim::ClusterSpec spec = sim::ClusterSpec::jlab_9g(2);
+  spec.trace.enabled = true;
+  sim::VirtualCluster cluster(spec);
+
+  parallel::ModeledSolverConfig cfg;
+  cfg.local = LatticeDims{8, 8, 8, 16};
+  cfg.outer = Precision::Single;
+  cfg.sloppy = Precision::Half;
+  cfg.policy = CommPolicy::Overlap;
+  cfg.iterations = 25;
+  cfg.reliable_interval = 10;
+  const parallel::ModeledSolverResult r = parallel::run_modeled_solver(cluster, cfg);
+  if (!r.fits || !r.traced) {
+    std::fprintf(stderr, "trace_export_tool: solve did not produce a trace\n");
+    return 1;
+  }
+  if (!trace::write_chrome_trace(path, cluster.trace())) {
+    std::fprintf(stderr, "trace_export_tool: cannot write %s\n", path);
+    return 1;
+  }
+  std::printf("trace_export_tool: wrote %s (%zu events)\n", path,
+              cluster.trace().total_events());
+  return 0;
+}

@@ -4,7 +4,14 @@
 #   2. the fast test subset (ctest -LE slow), which includes the trace
 #      acceptance test that exports a fig5-sized Chrome trace;
 #   3. trace-lint every file that acceptance run produced against
-#      tools/trace_schema.json.
+#      tools/trace_schema.json;
+#   4. perf gate: run the quick fig5 sweep and diff its BENCH JSON against
+#      the stored baseline with tools/bench_diff.py.  The first run seeds
+#      the baseline ($BUILD/bench_baseline_fig5_strong.json); later runs
+#      fail on >10% regressions in time/gflops/critical-path metrics, and
+#      bench_diff prints the per-category attribution of every regressed
+#      point.  After an intentional perf change, delete the baseline file
+#      (or re-run with QUICK_GATE_REBASELINE=1) to accept the new numbers.
 # Usage: tools/quick_gate.sh [build-dir]   (default: build)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -21,4 +28,15 @@ if [ "${#traces[@]}" -eq 0 ]; then
   exit 1
 fi
 python3 tools/trace_lint.py "${traces[@]}"
-echo "quick gate OK (${#traces[@]} trace file(s) linted)"
+
+# perf-regression gate on the quick fig5 sweep
+baseline="$BUILD/bench_baseline_fig5_strong.json"
+current="$BUILD/bench/BENCH_fig5_strong.json"
+(cd "$BUILD/bench" && ./bench_fig5_strong --quick > /dev/null)
+if [ "${QUICK_GATE_REBASELINE:-0}" = "1" ] || [ ! -f "$baseline" ]; then
+  cp "$current" "$baseline"
+  echo "quick_gate: seeded perf baseline at $baseline"
+else
+  python3 tools/bench_diff.py "$baseline" "$current"
+fi
+echo "quick gate OK (${#traces[@]} trace file(s) linted, perf gate passed)"

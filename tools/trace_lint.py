@@ -14,7 +14,12 @@ test suite relies on:
   * the exporter's one-object-per-line invariant holds (so greps and the
     golden-trace tests can address events by line);
   * every (pid, tid) that carries events also carries a thread_name
-    metadata record, and every pid a process_name.
+    metadata record, and every pid a process_name;
+  * the happens-before fields the critical-path analyzer consumes are
+    semantically sound: dep_rank stays inside [-1, otherData.ranks);
+    every mpi_wait span in a multi-rank trace names its sender, every
+    allreduce span names its gate rank, and kernel/copy spans carry a
+    non-negative issue anchor (dep_ts) and edge weight.
 
 Usage: trace_lint.py [--schema tools/trace_schema.json] TRACE.json [...]
 Exit status 0 when every file is clean, 1 otherwise.
@@ -69,6 +74,37 @@ def validate(value, schema, path, errors):
                     errors.append(f"{path}: unexpected key {key!r}")
 
 
+def check_dep_fields(ev, ranks, where, errors):
+    """Semantic checks on the happens-before edge fields (dep_rank, dep_ts,
+    edge_us) that src/trace/critpath.cpp walks.  Schema validation already
+    covers types and minimums; this enforces what the analyzer assumes."""
+    args = ev.get("args")
+    if not isinstance(args, dict) or "dep_rank" not in args:
+        return  # missing args already reported by the schema pass
+    dep_rank = args.get("dep_rank")
+    dep_ts = args.get("dep_ts")
+    edge = args.get("edge_us")
+    if not all(isinstance(v, (int, float)) for v in (dep_rank, dep_ts, edge)):
+        return  # type errors already reported by the schema pass
+    name = ev.get("name")
+    if isinstance(ranks, int) and dep_rank >= ranks:
+        errors.append(f"{where}: dep_rank {dep_rank} out of range for {ranks} ranks")
+    if ev.get("ph") != "X":
+        return
+    # cross-rank edges: a completed receive names its sender, a completed
+    # allreduce names the rank whose arrival gated the rendezvous
+    if name == "mpi_wait" and isinstance(ranks, int) and ranks > 1 and dep_rank < 0:
+        errors.append(f"{where}: mpi_wait span carries no sender edge (dep_rank=-1)")
+    if name == "allreduce" and dep_rank < 0:
+        errors.append(f"{where}: allreduce span carries no gate-rank edge")
+    # device edges: kernels and copies anchor to their host issue time
+    if ev.get("cat") in ("kernel", "copy"):
+        if dep_ts < 0:
+            errors.append(f"{where}: {name} span has negative issue anchor dep_ts={dep_ts}")
+        if edge < 0:
+            errors.append(f"{where}: {name} span has negative edge weight {edge}")
+
+
 def lint_file(trace_path, schema):
     errors = []
     with open(trace_path, "r", encoding="utf-8") as f:
@@ -85,6 +121,7 @@ def lint_file(trace_path, schema):
         return errors
 
     phases = schema["phases"]
+    ranks = doc.get("otherData", {}).get("ranks")
     data_events = 0
     named_tracks = set()  # (pid, tid) with a thread_name record
     named_pids = set()
@@ -107,6 +144,7 @@ def lint_file(trace_path, schema):
         else:
             data_events += 1
             used_tracks.add((ev.get("pid"), ev.get("tid")))
+            check_dep_fields(ev, ranks, where, errors)
 
     declared = doc.get("otherData", {}).get("events")
     if declared != data_events:
