@@ -5,6 +5,7 @@
 // shapes (who wins, by what factor, where the crossovers fall) are the
 // reproduction targets recorded in EXPERIMENTS.md.
 
+#include "core/wallclock.h"
 #include "parallel/modeled_solver.h"
 #include "sim/event_sim.h"
 
@@ -24,7 +25,7 @@ namespace quda::bench {
 class BenchJson {
 public:
   explicit BenchJson(std::string name)
-      : name_(std::move(name)), start_(std::chrono::steady_clock::now()) {}
+      : name_(std::move(name)), start_(core::wall_now()) {}
 
   void config(const std::string& key, const std::string& value) {
     config_.emplace_back(key, quote(value));
@@ -40,8 +41,7 @@ public:
 
   // write BENCH_<name>.json in the current directory
   void write() const {
-    const double wall =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+    const double wall = std::chrono::duration<double>(core::wall_now() - start_).count();
     std::ofstream os("BENCH_" + name_ + ".json");
     os << "{\n  \"name\": " << quote(name_) << ",\n  \"config\": {";
     write_fields(os, config_, "\n    ");
@@ -78,7 +78,7 @@ private:
   }
 
   std::string name_;
-  std::chrono::steady_clock::time_point start_;
+  core::WallClock::time_point start_;
   Fields config_;
   std::vector<Fields> points_;
 };

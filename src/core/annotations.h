@@ -1,0 +1,54 @@
+#pragma once
+// Clang thread-safety annotation macros for the simulator's concurrency
+// layer (host_engine's pool, the VirtualCluster transport, trace sinks).
+//
+// Two enforcement paths share these markers:
+//  * Under clang with -DQUDA_SIM_ANALYZE=1 (the QUDA_SIM_ANALYZE=ON CMake
+//    option) they expand to the clang thread-safety attributes, and the
+//    build runs with -Wthread-safety -Werror=thread-safety, so an access
+//    to a QUDA_GUARDED_BY field outside its mutex is a compile error.
+//  * On every compiler (the container ships gcc only) tools/static_check.py
+//    cross-checks the annotations *structurally*: every mutex member must
+//    be referenced by at least one QUDA_GUARDED_BY / QUDA_REQUIRES /
+//    QUDA_ACQUIRE / QUDA_RELEASE / QUDA_EXCLUDES, every condition-variable
+//    member must carry QUDA_CV_WAITS_WITH naming its pairing mutex, and
+//    every annotation argument must resolve to a declared mutex
+//    (rule sim-mutex-coverage).
+//
+// The annotated primitives themselves (core::Mutex, core::MutexLock,
+// core::CondVar) live in core/sync.h: clang's analysis only tracks lock
+// acquisition through attribute-annotated types, and libstdc++'s std::mutex
+// / std::lock_guard carry no attributes.
+
+#if defined(QUDA_SIM_ANALYZE) && defined(__clang__)
+#define QUDA_TSA(x) __attribute__((x))
+#else
+#define QUDA_TSA(x) // expands to nothing: gcc and un-analyzed clang builds
+#endif
+
+// a type that is a lockable capability (core::Mutex)
+#define QUDA_CAPABILITY(name) QUDA_TSA(capability(name))
+// an RAII type whose constructor acquires and destructor releases
+#define QUDA_SCOPED_CAPABILITY QUDA_TSA(scoped_lockable)
+
+// data members: which mutex protects them
+#define QUDA_GUARDED_BY(x) QUDA_TSA(guarded_by(x))
+#define QUDA_PT_GUARDED_BY(x) QUDA_TSA(pt_guarded_by(x))
+
+// functions: locks they need, take, drop, or must not hold
+#define QUDA_REQUIRES(...) QUDA_TSA(requires_capability(__VA_ARGS__))
+#define QUDA_ACQUIRE(...) QUDA_TSA(acquire_capability(__VA_ARGS__))
+#define QUDA_RELEASE(...) QUDA_TSA(release_capability(__VA_ARGS__))
+#define QUDA_TRY_ACQUIRE(...) QUDA_TSA(try_acquire_capability(__VA_ARGS__))
+#define QUDA_EXCLUDES(...) QUDA_TSA(locks_excluded(__VA_ARGS__))
+#define QUDA_RETURN_CAPABILITY(x) QUDA_TSA(lock_returned(x))
+
+// escape hatch for code the analysis cannot model (use sparingly, comment why)
+#define QUDA_NO_THREAD_SAFETY_ANALYSIS QUDA_TSA(no_thread_safety_analysis)
+
+// Structural marker only (expands to nothing on every compiler): declares
+// which mutex a condition-variable member waits with.  A CV is not
+// "guarded" in the data-race sense -- notify is legal without the lock --
+// but every CV has exactly one pairing mutex, and static_check.py's
+// sim-mutex-coverage rule requires the pairing to be written down.
+#define QUDA_CV_WAITS_WITH(x)

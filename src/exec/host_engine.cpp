@@ -1,12 +1,12 @@
 #include "exec/host_engine.h"
 
+#include "core/sync.h"
+
 #include <atomic>
-#include <condition_variable>
 #include <cstdlib>
 #include <deque>
 #include <exception>
 #include <memory>
-#include <mutex>
 #include <thread>
 
 namespace quda::exec {
@@ -19,9 +19,9 @@ struct Batch {
   const std::function<void(std::int64_t)>* task = nullptr;
   std::atomic<std::int64_t> next{0};
   std::atomic<std::int64_t> completed{0};
-  std::mutex m;
-  std::condition_variable done;
-  std::exception_ptr error; // first chunk exception, guarded by m
+  core::Mutex m;
+  core::CondVar done QUDA_CV_WAITS_WITH(m);
+  std::exception_ptr error QUDA_GUARDED_BY(m); // first chunk exception
 
   bool exhausted() const { return next.load() >= num_chunks; }
   bool finished() const { return completed.load() == num_chunks; }
@@ -43,19 +43,21 @@ int read_env_budget() {
 class Pool {
 public:
   static Pool& instance() {
+    // NOLINT(sim-static-state): Meyers singleton for the process-wide worker
+    // pool; constructed once, workers joined in the destructor at exit
     static Pool pool;
     return pool;
   }
 
   int budget() {
-    std::lock_guard<std::mutex> lock(config_m_);
+    core::MutexLock lock(config_m_);
     if (budget_ <= 0) budget_ = read_env_budget();
     return budget_;
   }
 
   void set_budget(int n) {
     stop_workers();
-    std::lock_guard<std::mutex> lock(config_m_);
+    core::MutexLock lock(config_m_);
     budget_ = n >= 1 ? n : read_env_budget();
   }
 
@@ -63,7 +65,7 @@ public:
   void run(const std::shared_ptr<Batch>& batch) {
     ensure_workers();
     {
-      std::lock_guard<std::mutex> lock(queue_m_);
+      core::MutexLock lock(queue_m_);
       queue_.push_back(batch);
     }
     queue_cv_.notify_all();
@@ -71,14 +73,14 @@ public:
     participate(*batch);
 
     { // all chunks are claimed; drop the batch from the work queue
-      std::lock_guard<std::mutex> lock(queue_m_);
+      core::MutexLock lock(queue_m_);
       for (auto it = queue_.begin(); it != queue_.end(); ++it)
         if (it->get() == batch.get()) {
           queue_.erase(it);
           break;
         }
     }
-    std::unique_lock<std::mutex> lock(batch->m);
+    core::MutexLock lock(batch->m);
     batch->done.wait(lock, [&] { return batch->finished(); });
     if (batch->error) std::rethrow_exception(batch->error);
   }
@@ -89,7 +91,7 @@ private:
   Pool() = default;
 
   void ensure_workers() {
-    std::lock_guard<std::mutex> lock(config_m_);
+    core::MutexLock lock(config_m_);
     if (budget_ <= 0) budget_ = read_env_budget();
     const int want = budget_ - 1;
     if (static_cast<int>(workers_.size()) >= want) return;
@@ -99,14 +101,18 @@ private:
 
   void stop_workers() {
     {
-      std::lock_guard<std::mutex> lock(queue_m_);
+      core::MutexLock lock(queue_m_);
       stop_ = true;
     }
     queue_cv_.notify_all();
-    for (std::thread& w : workers_)
-      if (w.joinable()) w.join();
-    workers_.clear();
-    std::lock_guard<std::mutex> lock(queue_m_);
+    {
+      // workers never take config_m_, so joining while holding it is safe
+      core::MutexLock lock(config_m_);
+      for (std::thread& w : workers_)
+        if (w.joinable()) w.join();
+      workers_.clear();
+    }
+    core::MutexLock lock(queue_m_);
     stop_ = false;
   }
 
@@ -119,18 +125,18 @@ private:
       try {
         (*batch.task)(c);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(batch.m);
+        core::MutexLock lock(batch.m);
         if (!batch.error) batch.error = std::current_exception();
       }
       if (batch.completed.fetch_add(1) + 1 == batch.num_chunks) {
-        std::lock_guard<std::mutex> lock(batch.m);
+        core::MutexLock lock(batch.m);
         batch.done.notify_all();
       }
     }
     t_in_chunk = false;
   }
 
-  std::shared_ptr<Batch> find_work_locked() {
+  std::shared_ptr<Batch> find_work_locked() QUDA_REQUIRES(queue_m_) {
     for (const auto& b : queue_)
       if (!b->exhausted()) return b;
     return nullptr;
@@ -140,8 +146,10 @@ private:
     for (;;) {
       std::shared_ptr<Batch> batch;
       {
-        std::unique_lock<std::mutex> lock(queue_m_);
-        queue_cv_.wait(lock, [&] { return stop_ || find_work_locked() != nullptr; });
+        core::MutexLock lock(queue_m_);
+        queue_cv_.wait(lock, [&]() QUDA_REQUIRES(queue_m_) {
+          return stop_ || find_work_locked() != nullptr;
+        });
         if (stop_) return;
         batch = find_work_locked();
       }
@@ -149,14 +157,14 @@ private:
     }
   }
 
-  std::mutex config_m_;
-  int budget_ = 0; // 0 = not yet read from the environment
-  std::vector<std::thread> workers_;
+  core::Mutex config_m_;
+  int budget_ QUDA_GUARDED_BY(config_m_) = 0; // 0 = not yet read from the environment
+  std::vector<std::thread> workers_ QUDA_GUARDED_BY(config_m_);
 
-  std::mutex queue_m_;
-  std::condition_variable queue_cv_;
-  std::deque<std::shared_ptr<Batch>> queue_;
-  bool stop_ = false;
+  core::Mutex queue_m_;
+  core::CondVar queue_cv_ QUDA_CV_WAITS_WITH(queue_m_);
+  std::deque<std::shared_ptr<Batch>> queue_ QUDA_GUARDED_BY(queue_m_);
+  bool stop_ QUDA_GUARDED_BY(queue_m_) = false;
 };
 
 } // namespace

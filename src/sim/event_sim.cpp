@@ -1,5 +1,6 @@
 #include "sim/event_sim.h"
 
+#include "core/wallclock.h"
 #include "trace/trace_export.h"
 
 #include <chrono>
@@ -74,7 +75,7 @@ RankContext::SendStatus RankContext::isend(int dst, int tag, std::vector<std::by
                     modeled_bytes, dst, tag);
   }
   {
-    std::lock_guard<std::mutex> lock(cluster_.mutex_);
+    core::MutexLock lock(cluster_.mutex_);
     cluster_.channels_[{rank_, dst, tag}].queue.push_back(std::move(m));
   }
   cluster_.cv_.notify_all();
@@ -87,7 +88,7 @@ void RankContext::post_send_failure(int dst, int tag) {
   m.failed = true;
   m.send_time_us = clock_.now_us;
   {
-    std::lock_guard<std::mutex> lock(cluster_.mutex_);
+    core::MutexLock lock(cluster_.mutex_);
     cluster_.channels_[{rank_, dst, tag}].queue.push_back(std::move(m));
   }
   cluster_.cv_.notify_all();
@@ -113,7 +114,7 @@ RecvHandle RankContext::wait(PendingRecv& pending, double wall_timeout_ms) {
 
   RecvHandle h;
   {
-    std::unique_lock<std::mutex> lock(cluster_.mutex_);
+    core::MutexLock lock(cluster_.mutex_);
     auto& chan = cluster_.channels_[{pending.src, rank_, pending.tag}];
     for (;;) {
       // skip dropped-attempt tombstones silently: the lost attempt's timing
@@ -127,8 +128,10 @@ RecvHandle RankContext::wait(PendingRecv& pending, double wall_timeout_ms) {
         throw std::runtime_error("peer rank aborted during recv");
       }
       if (wall_timeout_ms > 0) {
+        // the watchdog is the one place real time enters the simulator, and
+        // it routes through the allowlisted (and test-injectable) shim
         const auto deadline =
-            std::chrono::steady_clock::now() +
+            core::now_for_watchdog() +
             std::chrono::microseconds(static_cast<std::int64_t>(wall_timeout_ms * 1e3));
         if (cluster_.cv_.wait_until(lock, deadline) == std::cv_status::timeout &&
             chan.queue.empty() && !cluster_.aborted_) {
@@ -184,7 +187,7 @@ void RankContext::allreduce_sum(double* values, int count) {
   const double step_cost =
       spec_.net.ib_latency_us + spec_.net.mpi_overhead_us; // small payload per step
 
-  std::unique_lock<std::mutex> lock(cluster_.mutex_);
+  core::MutexLock lock(cluster_.mutex_);
   auto& red = cluster_.red_;
   const std::int64_t my_generation = red.generation;
   if (red.sum.empty()) red.sum.assign(static_cast<std::size_t>(count), 0.0);
@@ -210,8 +213,9 @@ void RankContext::allreduce_sum(double* values, int count) {
     ++red.generation;
     cluster_.cv_.notify_all();
   } else {
-    cluster_.cv_.wait(lock,
-                      [&] { return cluster_.aborted_ || red.generation != my_generation; });
+    cluster_.cv_.wait(lock, [&]() QUDA_REQUIRES(cluster_.mutex_) {
+      return cluster_.aborted_ || red.generation != my_generation;
+    });
     if (red.generation == my_generation) {
       if (cluster_.abort_kind_ == VirtualCluster::AbortKind::Timeout)
         throw CommTimeout("peer rank raised CommTimeout during allreduce");
@@ -234,7 +238,7 @@ void RankContext::barrier() {
 
 void VirtualCluster::poison(AbortKind kind) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    core::MutexLock lock(mutex_);
     if (!aborted_) {
       aborted_ = true;
       abort_kind_ = kind;
@@ -246,7 +250,7 @@ void VirtualCluster::poison(AbortKind kind) {
 void VirtualCluster::run(const std::function<void(RankContext&)>& fn) {
   const int n = spec_.num_ranks();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    core::MutexLock lock(mutex_);
     aborted_ = false;
     abort_kind_ = AbortKind::None;
     channels_.clear();
@@ -266,7 +270,7 @@ void VirtualCluster::run(const std::function<void(RankContext&)>& fn) {
 
   std::vector<std::thread> threads;
   std::exception_ptr first_error;
-  std::mutex error_mutex;
+  core::Mutex error_mutex;
 
   threads.reserve(static_cast<std::size_t>(n));
   for (int r = 0; r < n; ++r) {
@@ -279,13 +283,13 @@ void VirtualCluster::run(const std::function<void(RankContext&)>& fn) {
         fn(ctx);
       } catch (const CommTimeout&) {
         {
-          std::lock_guard<std::mutex> lock(error_mutex);
+          core::MutexLock lock(error_mutex);
           if (!first_error) first_error = std::current_exception();
         }
         poison(AbortKind::Timeout);
       } catch (...) {
         {
-          std::lock_guard<std::mutex> lock(error_mutex);
+          core::MutexLock lock(error_mutex);
           if (!first_error) first_error = std::current_exception();
         }
         poison(AbortKind::Error);

@@ -20,19 +20,18 @@
 // retry budget posts a *failed* tombstone and poisons the cluster so every
 // blocked rank raises a typed CommTimeout instead of deadlocking.
 
+#include "core/sync.h"
 #include "gpusim/device.h"
 #include "sim/cluster_spec.h"
 #include "sim/fault_model.h"
 #include "trace/trace.h"
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 namespace quda::sim {
@@ -196,11 +195,14 @@ private:
 
   ClusterSpec spec_;
   FaultModel fault_model_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::map<ChannelKey, Channel> channels_;
-  bool aborted_ = false; // a rank threw; peers must not block forever
-  AbortKind abort_kind_ = AbortKind::None;
+  // one cluster-wide transport lock: channels, the allreduce rendezvous, and
+  // the poison flag all rendezvous through it (clang checks the GUARDED_BY
+  // fields under QUDA_SIM_ANALYZE; static_check.py checks coverage always)
+  core::Mutex mutex_;
+  core::CondVar cv_ QUDA_CV_WAITS_WITH(mutex_);
+  std::map<ChannelKey, Channel> channels_ QUDA_GUARDED_BY(mutex_);
+  bool aborted_ QUDA_GUARDED_BY(mutex_) = false; // a rank threw; peers must not block forever
+  AbortKind abort_kind_ QUDA_GUARDED_BY(mutex_) = AbortKind::None;
 
   // allreduce state (generation-counted).  The gating rank -- the argmax of
   // the arrival times, ties broken toward the lowest rank so the value is
@@ -217,7 +219,7 @@ private:
     double done_gate_time = 0;
     int done_gate_rank = 0;
     std::int64_t generation = 0;
-  } red_;
+  } red_ QUDA_GUARDED_BY(mutex_);
 
   double makespan_us_ = 0;
   FaultCounters fault_totals_;

@@ -93,6 +93,8 @@ bool write_chrome_trace(const std::string& path, const TraceReport& report) {
 }
 
 std::string unique_trace_path(const std::string& base) {
+  // NOLINT(sim-static-state): process-wide export-file counter; only
+  // suffixes repeat-run filenames, never read by any sim-time computation
   static std::atomic<int> counter{0};
   const int n = counter.fetch_add(1);
   return n == 0 ? base : base + "." + std::to_string(n);

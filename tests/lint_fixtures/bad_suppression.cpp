@@ -1,0 +1,26 @@
+// Lint fixture (never compiled): malformed suppressions are themselves
+// findings -- a suppression comment must name the rule(s) and give a
+// reason, and an ordering justification must carry a non-empty reason.
+// sim-bad-suppression is the one rule that can never be suppressed.
+
+int fixture_bare_nolint() {
+  static int a = 1;  // NOLINT -- EXPECT-LINT: sim-bad-suppression, sim-static-state
+  return a;
+}
+
+int fixture_unknown_rule() {
+  static int b = 2;  // NOLINT(sim-no-such-rule): text -- EXPECT-LINT: sim-bad-suppression, sim-static-state
+  return b;
+}
+
+int fixture_missing_reason() {
+  // EXPECT-LINT-NEXT: sim-bad-suppression
+  // NOLINT(sim-static-state)
+  static int c = 3;                // EXPECT-LINT: sim-static-state
+  return c;
+}
+
+// EXPECT-LINT-NEXT: sim-bad-suppression
+// SIM_ORDERED
+// EXPECT-LINT-NEXT: sim-bad-suppression
+// SIM_ORDERED:

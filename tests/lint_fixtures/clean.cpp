@@ -1,0 +1,23 @@
+// Lint fixture (never compiled): a file every rule passes over in silence.
+// The self-test treats any finding here as a false positive.
+
+namespace quda::fixture {
+
+struct Accumulator {
+  double value = 0;
+  void add(double x) { value += x; }  // member accumulation, not a loop fold
+};
+
+inline int clamp_index(int i, int n) {
+  if (i < 0) return 0;
+  if (i >= n) return n - 1;
+  return i;
+}
+
+inline double weighted_sum(const std::map<int, double>& weights) {
+  Accumulator acc;
+  for (const auto& [k, w] : weights) acc.add(k * w);  // ordered: deterministic
+  return acc.value;
+}
+
+}  // namespace quda::fixture

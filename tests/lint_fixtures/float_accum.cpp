@@ -1,0 +1,24 @@
+// LINT-AS: src/blas/fixture_accum.cpp
+// Lint fixture (never compiled): raw += float accumulation in a loop inside
+// src/blas.  Serial accumulation order differs from the fixed binary
+// reduction tree exec::parallel_reduce builds, so dot products written this
+// way would drift between thread budgets; the rule routes reductions through
+// the helper.
+
+double fixture_raw_accumulation(const double* v, int n) {
+  double sum = 0;
+  for (int i = 0; i < n; ++i) sum += v[i];  // EXPECT-LINT: sim-float-accum
+  float partial = 0;
+  for (int i = 0; i < n; ++i) {
+    partial += static_cast<float>(v[i]);    // EXPECT-LINT: sim-float-accum
+  }
+  return sum + partial;
+}
+
+double fixture_reduction_helper(const double* v, std::int64_t n) {
+  // the blessed pattern: the addition tree is owned by parallel_reduce, so
+  // the accumulation inside its region is exempt
+  return exec::parallel_reduce(
+      n, RSum{}, [&](std::int64_t i, RSum& acc) { acc.r += v[i]; },
+      [](RSum& into, const RSum& from) { into.r += from.r; }).r;
+}

@@ -1,0 +1,16 @@
+// Lint fixture (never compiled): the structural mutex-annotation coverage
+// check.  Every mutex member must be named by at least one annotation, every
+// condition variable must declare its pairing mutex, and every annotation
+// must reference a mutex that is actually declared somewhere in the tree.
+
+struct FixtureCovered {
+  core::Mutex fixture_good_m;
+  int guarded QUDA_GUARDED_BY(fixture_good_m);
+  core::CondVar fixture_paired_cv QUDA_CV_WAITS_WITH(fixture_good_m);
+};
+
+struct FixtureUncovered {
+  core::Mutex fixture_lonely_m;                       // EXPECT-LINT: sim-mutex-coverage
+  core::CondVar fixture_naked_cv;                     // EXPECT-LINT: sim-mutex-coverage
+  int ghost_field QUDA_GUARDED_BY(fixture_ghost_m);   // EXPECT-LINT: sim-mutex-coverage
+};

@@ -1,0 +1,28 @@
+// Lint fixture (never compiled): seeded sim-nondeterminism violations.
+// Every entropy / wall-clock source the rule bans must fire exactly on the
+// marked lines; the shim src/core/wallclock.h is the only allowlisted reader.
+
+int fixture_entropy() {
+  int a = rand();                                  // EXPECT-LINT: sim-nondeterminism
+  srand(42);                                       // EXPECT-LINT: sim-nondeterminism
+  std::random_device rd;                           // EXPECT-LINT: sim-nondeterminism
+  unsigned seed = 0;
+  int b = rand_r(&seed);                           // EXPECT-LINT: sim-nondeterminism
+  double c = drand48();                            // EXPECT-LINT: sim-nondeterminism
+  return a + b + static_cast<int>(c) + static_cast<int>(rd());
+}
+
+double fixture_wall_clock() {
+  auto t0 = std::chrono::steady_clock::now();      // EXPECT-LINT: sim-nondeterminism
+  auto t1 = std::chrono::system_clock::now();      // EXPECT-LINT: sim-nondeterminism
+  auto t2 = std::chrono::high_resolution_clock::now(); // EXPECT-LINT: sim-nondeterminism
+  struct timeval tv;
+  gettimeofday(&tv, nullptr);                      // EXPECT-LINT: sim-nondeterminism
+  struct timespec ts;
+  clock_gettime(0, &ts);                           // EXPECT-LINT: sim-nondeterminism
+  timespec_get(&ts, 1);                            // EXPECT-LINT: sim-nondeterminism
+  std::time_t now = 0;
+  std::tm* cal = localtime(&now);                  // EXPECT-LINT: sim-nondeterminism
+  (void)t0; (void)t1; (void)t2; (void)cal;
+  return static_cast<double>(tv.tv_sec + ts.tv_sec);
+}

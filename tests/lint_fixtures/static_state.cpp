@@ -1,0 +1,20 @@
+// Lint fixture (never compiled): mutable function-local static state.  Such
+// state persists across calls and across tests in the same process, so two
+// runs of the same function can diverge; the rule demands a justification.
+
+int fixture_call_counter() {
+  static int calls = 0;              // EXPECT-LINT: sim-static-state
+  return ++calls;
+}
+
+const char* fixture_scratch() {
+  static char buffer[64];            // EXPECT-LINT: sim-static-state
+  return buffer;
+}
+
+int fixture_immutable_table(int i) {
+  // fine: immutable statics cannot carry state between calls
+  static const int table[4] = {3, 1, 4, 1};
+  static constexpr double scale = 2.25;
+  return static_cast<int>(table[i & 3] * scale);
+}

@@ -1,0 +1,14 @@
+// Lint fixture (never compiled): a well-formed suppression silences the
+// finding entirely -- the self-test asserts these lines produce NO report
+// and that the suppressions are counted as honored.
+
+int fixture_suppressed_entropy() {
+  // NOLINT(sim-nondeterminism): fixture demonstrating an honored suppression
+  return rand();
+}
+
+int fixture_suppressed_static() {
+  static int memo = -1;  // NOLINT(sim-static-state): memoized pure value, fixture only
+  if (memo < 0) memo = 7;
+  return memo;
+}

@@ -1,0 +1,25 @@
+// LINT-AS: src/sim/fixture_unordered.cpp
+// Lint fixture (never compiled): iteration over unordered containers inside
+// a sim-time-affecting layer.  Iteration order of unordered_map/set is
+// implementation- and seed-dependent, so any simulated-time quantity folded
+// over it would vary run to run; the rule demands an ordered container or an
+// explicit ordering justification.
+
+void fixture_unordered_iteration() {
+  std::unordered_map<int, double> table;
+  std::unordered_set<int> keys;
+  std::map<int, double> sorted_table;
+
+  double total = 0;
+  for (const auto& kv : table) total += kv.second;  // EXPECT-LINT: sim-unordered-iter
+  for (int k : keys) total += k;                    // EXPECT-LINT: sim-unordered-iter
+  for (auto it = table.begin(); it != table.end(); ++it) // EXPECT-LINT: sim-unordered-iter
+    total += it->second;
+
+  // ordered containers iterate deterministically: no finding
+  for (const auto& kv : sorted_table) total += kv.second;
+
+  // SIM_ORDERED: commutative count, result independent of visitation order
+  for (const auto& kv : table)
+    if (kv.second > 0) total += 1;
+}

@@ -1,0 +1,12 @@
+#pragma once
+// Lint fixture (never compiled): `using namespace` at header scope leaks the
+// whole namespace into every translation unit that includes the header.
+
+using namespace quda::sim;           // EXPECT-LINT: sim-using-namespace-header
+
+namespace quda::fixture {
+using namespace std::chrono;         // EXPECT-LINT: sim-using-namespace-header
+
+// fine: scoped aliases do not leak
+using sim_clock = double;
+}  // namespace quda::fixture

@@ -3,6 +3,7 @@
 // failure isolation.
 
 #include "comm/qmp.h"
+#include "core/wallclock.h"
 #include "sim/event_sim.h"
 
 #include <gtest/gtest.h>
@@ -176,6 +177,42 @@ TEST(EventSim, RankFailurePropagatesWithoutDeadlock) {
                  (void)ctx.recv(0, 0); // would deadlock without abort handling
                }),
                std::runtime_error);
+}
+
+TEST(WallClock, WatchdogClockIsInjectableAndRestorable) {
+  const auto fake = core::WallClock::time_point{} + std::chrono::seconds(5);
+  const core::WallClockFn prev = core::set_watchdog_clock_for_testing(
+      +[] { return core::WallClock::time_point{} + std::chrono::seconds(5); });
+  EXPECT_EQ(core::now_for_watchdog(), fake);
+  // restoring hands the watchdog back to the real monotonic clock
+  core::set_watchdog_clock_for_testing(prev);
+  const auto a = core::now_for_watchdog();
+  const auto b = core::now_for_watchdog();
+  EXPECT_LE(a, b);
+  EXPECT_NE(a, fake);
+}
+
+TEST(EventSim, WatchdogUsesInjectableClock) {
+  // The deadlock watchdog is the one real-time read in the simulator, and it
+  // goes through core::now_for_watchdog().  Injecting a clock stuck in the
+  // far past makes any deadline appear already expired, so the wait below
+  // must raise CommTimeout immediately -- despite the generous 60 s budget
+  // -- proving the watchdog reads the shim, not the real clock (and keeping
+  // this test instant and scheduler-independent).
+  const core::WallClockFn prev = core::set_watchdog_clock_for_testing(
+      +[] { return core::WallClock::time_point::min(); });
+  EXPECT_THROW(
+      {
+        VirtualCluster cluster(two_ranks_one_node());
+        cluster.run([](RankContext& ctx) {
+          if (ctx.rank() == 0) {
+            RankContext::PendingRecv p = ctx.irecv(1, 0);
+            (void)ctx.wait(p, /*wall_timeout_ms=*/60000.0); // rank 1 never sends
+          }
+        });
+      },
+      CommTimeout);
+  core::set_watchdog_clock_for_testing(prev);
 }
 
 TEST(EventSim, RecvHandleExposesArrivalAndSendTime) {

@@ -86,7 +86,9 @@ struct SolveSetup {
 class ToleranceSweep : public ::testing::TestWithParam<double> {};
 
 TEST_P(ToleranceSweep, BiCGstabReachesTarget) {
-  static SolveSetup setup; // shared: construction dominates the test time
+  // NOLINT(sim-static-state): fixture cached across the parameter sweep --
+  // construction dominates the test time and the setup is read-only after init
+  static SolveSetup setup;
   WilsonCloverOp<PrecDouble> op(setup.g, setup.gauge, setup.clover, setup.clover_inv,
                                 setup.params);
   HostSpinorField hb(setup.g);

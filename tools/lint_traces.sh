@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# trace_lint.py over every Chrome-trace export in the build tree.  A fresh
+# build has none -- that is fine, the ctest pair TraceLint.export/validate
+# guarantees at least one export is linted on every test run; this wrapper
+# exists so `cmake --build build --target lint` also covers whatever traces
+# the last test/bench run left behind.
+# Usage: tools/lint_traces.sh [build-dir]   (default: build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+
+shopt -s nullglob
+traces=("$BUILD"/tests/trace_*.json*)
+if [ "${#traces[@]}" -eq 0 ]; then
+  echo "lint_traces: no trace exports under $BUILD/tests yet (run ctest to produce some); skipping"
+  exit 0
+fi
+python3 tools/trace_lint.py "${traces[@]}"

@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
 # Quick gate for the edit-compile-test loop (CI runs the full suite):
 #   1. configure + build;
-#   2. the fast test subset (ctest -LE slow), which includes the trace
+#   2. static analysis: tools/static_check.py over the tree (determinism &
+#      lock-discipline rules; a failure prints the offending file:line rule
+#      table) plus its seeded-violation self-test;
+#   3. the fast test subset (ctest -LE slow), which includes the trace
 #      acceptance test that exports a fig5-sized Chrome trace;
-#   3. trace-lint every file that acceptance run produced against
+#   4. trace-lint every file that acceptance run produced against
 #      tools/trace_schema.json;
-#   4. perf gate: run the quick fig5 sweep and diff its BENCH JSON against
+#   5. perf gate: run the quick fig5 sweep and diff its BENCH JSON against
 #      the stored baseline with tools/bench_diff.py.  The first run seeds
 #      the baseline ($BUILD/bench_baseline_fig5_strong.json); later runs
 #      fail on >10% regressions in time/gflops/critical-path metrics, and
@@ -19,6 +22,11 @@ BUILD="${1:-build}"
 
 cmake -B "$BUILD" -S .
 cmake --build "$BUILD" -j"$(nproc)"
+
+# static analysis gate: fails fast with the file:line rule table on stderr
+python3 tools/static_check.py
+python3 tools/static_check.py --self-test
+
 ctest --test-dir "$BUILD" -LE slow --output-on-failure -j"$(nproc)"
 
 shopt -s nullglob
