@@ -178,6 +178,7 @@ inline void record_critpath(BenchJson& json, const trace::CritSummary& c) {
   json.field("crit_pcie_us", c.pcie_us());
   json.field("crit_stall_us", c.stall_us());
   json.field("crit_solver_us", c.solver_us());
+  json.field("crit_recovery_us", c.recovery_us());
   json.field("crit_rank_hops", static_cast<double>(c.cross_rank_jumps));
   json.field("compute_bound_us", c.compute_bound_us);
   json.field("whatif_zero_latency_us", c.whatif_zero_latency_us);

@@ -162,6 +162,24 @@ public:
     }
   }
 
+  // --- process-failure tolerance ----------------------------------------------
+
+  // Arm the heartbeat/failure detector for a new solver incarnation: the
+  // rank's seeded death draw (if any) is scheduled relative to *now*, so
+  // field setup is never killed and a warm-spare respawn is not condemned
+  // to die again the instant it resumes.
+  void arm_failure_detector() { ctx_.faults().arm_deaths(ctx_.clock().now_us); }
+  void disarm_failure_detector() { ctx_.faults().disarm_deaths(); }
+
+  // Post-recovery transport resync: the rendezvous cleared every channel,
+  // so both ends of every (peer, tag) stream restart their sequence
+  // numbering from zero.  Must run on all ranks at the same epoch (the
+  // recovery driver calls it right after the rendezvous).
+  void recovery_sync() {
+    send_seq_.clear();
+    recv_seq_.clear();
+  }
+
   // --- collectives -------------------------------------------------------------
 
   double sum(double local) { return ctx_.allreduce_sum(local); }

@@ -8,9 +8,14 @@
 #include "sim/event_sim.h"
 #include "solvers/bicgstab.h"
 #include "solvers/cg.h"
+#include "solvers/checkpoint.h"
 #include "solvers/mixed_precision.h"
+#include "trace/trace_export.h"
 
+#include <cstdio>
+#include <cstdlib>
 #include <stdexcept>
+#include <string>
 
 namespace quda {
 
@@ -73,6 +78,10 @@ struct RankOutcome {
   std::int64_t bytes_peak = 0;
   double setup_done_us = 0;
   double solve_done_us = 0;
+  // checkpoint/restart outcome (DESIGN.md §10)
+  int recovery_epochs = 0;          // completed cluster recovery epochs
+  std::uint64_t ckpt_digest = 0;    // last committed checkpoint digest
+  std::vector<CheckpointEvent> ckpt_log;
 };
 
 // the solver vectors BiCGstab allocates internally are charged here so the
@@ -97,31 +106,137 @@ SolverParams solver_params(const InvertParams& p) {
 
 template <typename POuter>
 SolverStats dispatch_uniform(ParallelWilsonCloverOp<POuter>& op, SpinorField<POuter>& x,
-                             const SpinorField<POuter>& b, const InvertParams& p) {
+                             const SpinorField<POuter>& b, const InvertParams& p,
+                             CheckpointManager<POuter>* ckpt) {
   const SolverParams sp = solver_params(p);
-  if (p.solver == SolverType::CG) return solve_cgnr(op, x, b, sp);
-  return solve_bicgstab(op, x, b, sp);
+  if (p.solver == SolverType::CG) return solve_cgnr(op, x, b, sp, ckpt);
+  return solve_bicgstab(op, x, b, sp, ckpt);
 }
 
 template <typename POuter, typename PSloppy>
 SolverStats dispatch_mixed(ParallelWilsonCloverOp<POuter>& op_hi,
                            ParallelWilsonCloverOp<PSloppy>& op_lo, SpinorField<POuter>& x,
-                           const SpinorField<POuter>& b, const InvertParams& p) {
+                           const SpinorField<POuter>& b, const InvertParams& p,
+                           CheckpointManager<POuter>* ckpt) {
   const SolverParams sp = solver_params(p);
   if (p.solver == SolverType::CG)
     throw std::invalid_argument("mixed-precision CG is not provided; use BiCGstab");
   if (p.mixed_strategy == MixedStrategy::DefectCorrection)
     return solve_defect_correction(op_hi, op_lo, x, b, sp);
-  SolverStats st = solve_bicgstab_reliable(op_hi, op_lo, x, b, sp);
+  SolverStats st = solve_bicgstab_reliable(op_hi, op_lo, x, b, sp, ckpt);
   if (st.escalated && !st.converged && st.iterations < sp.max_iter) {
     // rollback budget exhausted in the sloppy space: finish the solve in
     // full outer precision from the current iterate before giving up
     SolverParams esc = sp;
     esc.max_iter = sp.max_iter - st.iterations;
-    st.merge(solve_bicgstab(op_hi, x, b, esc));
+    st.merge(solve_bicgstab(op_hi, x, b, esc, ckpt));
     st.escalated = true;
   }
   return st;
+}
+
+// One rank's half of a coordinated recovery epoch (DESIGN.md §10).  The
+// survivor path runs on a RankFailure (a peer went silent under us); the
+// dead path on this rank's own RankDeath, standing in for the warm spare
+// that takes over the subvolume.  Both charge their local costs, roll the
+// iterate back to the last committed checkpoint, and meet at the recovery
+// rendezvous, after which every rank's clock sits at the epoch's resume
+// time and the transport is clean.  Returns the completed epoch index.
+template <typename POuter>
+int recover_rank(RankContext& ctx, comm::QmpGrid& grid, CheckpointManager<POuter>& ckpt,
+                 SpinorField<POuter>& x, const sim::RankDeath* death) {
+  const sim::FaultConfig& fc = ctx.spec().faults;
+  auto& counters = ctx.faults().counters();
+  auto& tracer = ctx.tracer();
+
+  if (death != nullptr) {
+    // this rank died: model the failure detector noticing (heartbeats stop
+    // after a crash; a hang must outlive the hang timeout) and the warm
+    // spare spinning up in its place
+    const double latency =
+        death->kind == sim::DeathKind::Hang ? fc.hang_timeout_us : fc.heartbeat_interval_us;
+    tracer.span(trace::Cat::Fault, "detect", trace::kTrackHost, ctx.clock().now_us,
+                ctx.clock().now_us + latency);
+    ctx.clock().advance(latency);
+    counters.detection_us += latency;
+    const double respawn_begin = ctx.clock().now_us;
+    ctx.clock().advance(fc.respawn_us);
+    ++counters.respawns;
+    tracer.span(trace::Cat::Fault, "respawn", trace::kTrackHost, respawn_begin,
+                ctx.clock().now_us);
+    // the new incarnation draws its own death schedule, relative to now
+    grid.arm_failure_detector();
+  } else {
+    // survivor: go terminal first so peers blocked on us unblock, then
+    // charge the local rollback (discarding the Krylov space built since
+    // the last committed checkpoint)
+    ctx.enter_recovery();
+    ++counters.rank_failures_detected;
+    tracer.instant(trace::Cat::Fault, "rank_failure", trace::kTrackHost, ctx.clock().now_us);
+    const double rb_begin = ctx.clock().now_us;
+    ctx.clock().advance(fc.rollback_us);
+    counters.restore_us += fc.rollback_us;
+    tracer.span(trace::Cat::Fault, "rollback", trace::kTrackHost, rb_begin, ctx.clock().now_us);
+  }
+
+  // roll the iterate back to the last committed checkpoint, or restart from
+  // the initial (zero) guess when nothing committed yet
+  const double restore_begin = ctx.clock().now_us;
+  if (ckpt.restore(x) < 0) x.zero();
+  tracer.span(trace::Cat::Fault, "restore", trace::kTrackHost, restore_begin,
+              ctx.clock().now_us);
+
+  // coordinated epoch barrier: every rank resumes at the same clock with
+  // fresh channels, reduction state, and framing sequence numbers
+  const double arrive_us = ctx.clock().now_us;
+  const sim::RecoveryEpoch ep = ctx.recovery_rendezvous();
+  grid.recovery_sync();
+  tracer.span(trace::Cat::Fault, "resume", trace::kTrackHost, arrive_us, ctx.clock().now_us);
+  tracer.instant(trace::Cat::Fault, "recovery_reset", trace::kTrackHost, ctx.clock().now_us);
+  // the epoch index is cluster-global, so every rank takes this branch (or
+  // none does) -- a deterministic abort instead of a poison race
+  if (ep.epoch > fc.max_failures)
+    throw std::runtime_error("rank-failure recovery budget exhausted after " +
+                             std::to_string(ep.epoch) + " epochs");
+  return ep.epoch;
+}
+
+// Drive `solve_fn` (+ `epilogue`: odd-site reconstruction and the closing
+// barrier) to completion through rank failures.  Interrupt-style loop: the
+// catch blocks only record what happened; the recovery work -- which can
+// itself die and re-enter the loop -- runs inside the try.
+template <typename POuter, typename SolveFn, typename EpilogueFn>
+SolverStats run_with_recovery(RankContext& ctx, comm::QmpGrid& grid,
+                              CheckpointManager<POuter>& ckpt, SpinorField<POuter>& x,
+                              int& epochs_seen, SolveFn&& solve_fn, EpilogueFn&& epilogue) {
+  grid.arm_failure_detector();
+  enum class Interrupt { None, PeerFailed, Died };
+  Interrupt intr = Interrupt::None;
+  sim::RankDeath death{};
+  int catches = 0;
+  for (;;) {
+    try {
+      if (intr != Interrupt::None) {
+        const int epoch =
+            recover_rank(ctx, grid, ckpt, x, intr == Interrupt::Died ? &death : nullptr);
+        epochs_seen = std::max(epochs_seen, epoch);
+        intr = Interrupt::None;
+      }
+      SolverStats st = solve_fn(&ckpt);
+      epilogue();
+      grid.disarm_failure_detector();
+      return st;
+    } catch (const sim::RankFailure&) {
+      intr = Interrupt::PeerFailed;
+    } catch (const sim::RankDeath& d) {
+      death = d;
+      intr = Interrupt::Died;
+    }
+    // local backstop only; the real (deterministic, cluster-global) budget
+    // is the epoch check inside recover_rank
+    if (++catches > 4 * (ctx.spec().faults.max_failures + 2))
+      throw std::runtime_error("recovery loop made no progress within its failure budget");
+  }
 }
 
 // per-rank solve at outer precision POuter (and optional sloppy PSloppy)
@@ -154,10 +269,21 @@ RankOutcome rank_solve(RankContext& ctx, const GridTopology& topo, const Geometr
 
   op_hi.prepare_source(bprime, b_e, b_o);
 
+  // checkpoint/restart driver state; deaths are armed only once setup is
+  // barriered (setup-phase failures are out of scope, DESIGN.md §10)
+  CheckpointManager<POuter> ckpt(grid, p.checkpoint_interval);
+  auto epilogue = [&] {
+    op_hi.reconstruct_odd(x_o, x_e, b_o);
+    grid.barrier();
+  };
+
   if (!mixed) {
     grid.barrier();
     out.setup_done_us = ctx.clock().now_us;
-    out.stats = dispatch_uniform(op_hi, x_e, bprime, p);
+    out.stats = run_with_recovery(
+        ctx, grid, ckpt, x_e, out.recovery_epochs,
+        [&](CheckpointManager<POuter>* c) { return dispatch_uniform(op_hi, x_e, bprime, p, c); },
+        epilogue);
     out.effective_flops = op_hi.effective_flops();
   } else {
     using PS = PSloppy;
@@ -167,13 +293,18 @@ RankOutcome rank_solve(RankContext& ctx, const GridTopology& topo, const Geometr
     charge_solver_vectors<PS>(grid, lg, 7); // sloppy r, r0, p, v, s, t, x
     grid.barrier();
     out.setup_done_us = ctx.clock().now_us;
-    out.stats = dispatch_mixed(op_hi, op_lo, x_e, bprime, p);
+    out.stats = run_with_recovery(
+        ctx, grid, ckpt, x_e, out.recovery_epochs,
+        [&](CheckpointManager<POuter>* c) {
+          return dispatch_mixed(op_hi, op_lo, x_e, bprime, p, c);
+        },
+        epilogue);
     out.effective_flops = op_hi.effective_flops() + op_lo.effective_flops();
   }
 
-  op_hi.reconstruct_odd(x_o, x_e, b_o);
-  grid.barrier();
   out.solve_done_us = ctx.clock().now_us;
+  out.ckpt_digest = ckpt.committed_digest();
+  out.ckpt_log = ckpt.log();
   ctx.tracer().span(trace::Cat::Solver, "setup", trace::kTrackSolver, setup_begin_us,
                     out.setup_done_us);
   ctx.tracer().span(trace::Cat::Solver, "solve", trace::kTrackSolver, out.setup_done_us,
@@ -285,6 +416,40 @@ InvertResult invert_multi_gpu(const sim::ClusterSpec& cluster_spec, const HostGa
   fr.escalated = result.stats.escalated;
   fr.recovered = fc.recovered_messages + result.stats.rollbacks;
   fr.recovery_time_us = fc.recovery_us;
+
+  // process-failure recovery: crash/hang injections, detection latency, and
+  // the checkpoint/restart work that got the solve to completion anyway
+  RecoveryReport& rr = fr.recovery;
+  rr.crashes = fc.crashes;
+  rr.hangs = fc.hangs;
+  rr.respawns = fc.respawns;
+  rr.checkpoints = fc.checkpoints_committed;
+  rr.restores = fc.restores;
+  rr.detection_us = fc.detection_us;
+  rr.checkpoint_us = fc.checkpoint_us;
+  rr.restore_us = fc.restore_us;
+  for (const auto& o : outcomes) {
+    rr.failures = std::max(rr.failures, o.recovery_epochs);
+    rr.checkpoint_digest ^= o.ckpt_digest;
+  }
+
+  // QUDA_SIM_CKPT=<path>: export the per-rank checkpoint event log as JSON
+  // lines (one object per write/commit/abort/restore event)
+  if (const char* ckpt_env = std::getenv("QUDA_SIM_CKPT"); ckpt_env != nullptr && *ckpt_env) {
+    const std::string path = trace::unique_trace_path(ckpt_env);
+    if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+      for (int r = 0; r < n_ranks; ++r)
+        for (const CheckpointEvent& e : outcomes[static_cast<std::size_t>(r)].ckpt_log)
+          std::fprintf(f,
+                       "{\"rank\":%d,\"action\":\"%s\",\"iteration\":%d,\"time_us\":%.3f,"
+                       "\"digest\":\"%016llx\",\"bytes\":%lld}\n",
+                       r, e.action, e.iteration, e.time_us,
+                       static_cast<unsigned long long>(e.digest),
+                       static_cast<long long>(e.bytes));
+      std::fclose(f);
+    }
+  }
+
   result.traced = cluster.trace().enabled;
   if (result.traced) {
     result.trace_metrics = trace::compute_metrics(cluster.trace());

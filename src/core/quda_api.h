@@ -72,6 +72,30 @@ struct InvertParams {
   double sdc_threshold = 0;
   int max_rollbacks = 10;
   int max_breakdown_restarts = 3;
+  // coordinated checkpoint/restart: take a two-phase checkpoint of the
+  // solver iterate every N checkpointable boundaries (accepted reliable
+  // updates in the mixed solver, every 10th iteration in uniform solvers);
+  // 0 disables checkpointing (a rank failure then restarts the solve from
+  // the initial guess)
+  int checkpoint_interval = 0;
+};
+
+// process-failure recovery outcome of one solve (DESIGN.md §10)
+struct RecoveryReport {
+  int failures = 0;        // completed recovery epochs
+  long crashes = 0;        // rank-crash injections that fired
+  long hangs = 0;          // rank-hang injections that fired
+  long respawns = 0;       // warm-spare respawns
+  long checkpoints = 0;    // two-phase commits (summed over ranks)
+  long restores = 0;       // checkpoint restores (summed over ranks)
+  double detection_us = 0; // sim time between deaths and cluster detection
+  double checkpoint_us = 0;   // sim time charged to checkpoint writes/commits
+  double restore_us = 0;      // sim time charged to rollback + restore
+  // XOR of the per-rank last-committed checkpoint digests (order-free, so
+  // deterministic without extra communication); 0 when nothing committed
+  std::uint64_t checkpoint_digest = 0;
+
+  bool clean() const { return crashes == 0 && hangs == 0; }
 };
 
 // fault/recovery outcome of one solve: what was injected, what the
@@ -93,9 +117,12 @@ struct FaultReport {
   int breakdown_restarts = 0;  // Krylov restarts after scalar breakdown
   bool escalated = false;      // solve finished in full outer precision
   double recovery_time_us = 0; // sim time spent on timeouts, backoff, stalls
+  // process-level failures and checkpoint/restart recovery
+  RecoveryReport recovery{};
 
   bool clean() const {
-    return drops == 0 && delays == 0 && corruptions == 0 && device_flips == 0 && stalls == 0;
+    return drops == 0 && delays == 0 && corruptions == 0 && device_flips == 0 && stalls == 0 &&
+           recovery.clean();
   }
 };
 

@@ -33,6 +33,18 @@ struct NetworkModel {
   }
 };
 
+// Simulated stable storage (the checkpoint target): a node-local scratch
+// disk / parallel-filesystem stripe.  Checkpoint writes are charged
+// latency + size/bandwidth on top of the device->host PCIe staging cost.
+struct StorageModel {
+  double latency_us = 800.0; // per-operation setup (open, commit marker)
+  double bw_gbs = 1.0;       // streaming write/read bandwidth
+
+  double transfer_time_us(std::int64_t bytes) const {
+    return latency_us + static_cast<double>(bytes) / (bw_gbs * 1e3);
+  }
+};
+
 struct ClusterSpec {
   int nodes = 1;
   int gpus_per_node = 1;
@@ -48,6 +60,8 @@ struct ClusterSpec {
   // seeded fault environment (all rates default to zero = fault-free);
   // injection is deterministic in (seed, rank, event counter)
   FaultConfig faults{};
+  // stable-storage model for coordinated checkpoint/restart
+  StorageModel storage{};
   // structured tracing (src/trace); recording also turns on when the
   // QUDA_SIM_TRACE environment variable is set (its value = export path)
   trace::TraceOptions trace{};

@@ -3,6 +3,7 @@
 #include "core/wallclock.h"
 #include "trace/trace_export.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdlib>
@@ -21,8 +22,98 @@ RankContext::RankContext(VirtualCluster& cluster, int rank, const ClusterSpec& s
 
 int RankContext::size() const { return spec_.num_ranks(); }
 
+void RankContext::check_death() {
+  if (!faults_.death_due(clock_.now_us)) return;
+  const FaultStream::ArmedDeath d = *faults_.armed_death();
+  faults_.disarm_deaths();
+  auto& counters = faults_.counters();
+  const char* name;
+  if (d.kind == DeathKind::Crash) {
+    ++counters.crashes;
+    name = "rank_crash";
+  } else {
+    ++counters.hangs;
+    name = "rank_hang";
+  }
+  // the death is stamped at the rank's *current* clock -- the first
+  // transport op at-or-after the drawn time -- which is deterministic;
+  // the clock itself stays untouched
+  tracer_.instant(trace::Cat::Fault, name, trace::kTrackHost, clock_.now_us);
+  cluster_.register_death(rank_, d.kind, clock_.now_us);
+  throw RankDeath{rank_, d.kind, clock_.now_us};
+}
+
+void RankContext::enter_recovery() {
+  {
+    core::MutexLock lock(cluster_.mutex_);
+    if (rank_ < static_cast<int>(cluster_.terminal_.size()))
+      cluster_.terminal_[static_cast<std::size_t>(rank_)] = 1;
+  }
+  // cascade: peers blocked on this rank re-check their terminal conditions
+  cluster_.cv_.notify_all();
+}
+
+RecoveryEpoch RankContext::recovery_rendezvous() {
+  check_death();
+  const int n = spec_.num_ranks();
+  RecoveryEpoch out;
+  core::MutexLock lock(cluster_.mutex_);
+  auto& rec = cluster_.recovery_;
+  const std::int64_t my_generation = rec.generation;
+  rec.max_arrival = std::max(rec.max_arrival, clock_.now_us);
+  if (++rec.arrived == n) {
+    // the epoch's death set is complete here (every death happens-before
+    // its rank's rendezvous arrival), so the failure detector's completion
+    // time is a deterministic fold over it
+    double detect = 0;
+    for (const DeathRecord& d : cluster_.deaths_) {
+      const double latency = d.kind == DeathKind::Hang ? spec_.faults.hang_timeout_us
+                                                       : spec_.faults.heartbeat_interval_us;
+      detect = std::max(detect, d.time_us + latency);
+    }
+    out.epoch = rec.last.epoch + 1;
+    out.detect_us = detect;
+    out.resume_us = std::max(rec.max_arrival, detect);
+    out.deaths = std::move(cluster_.deaths_);
+    cluster_.deaths_.clear();
+    std::sort(out.deaths.begin(), out.deaths.end(),
+              [](const DeathRecord& a, const DeathRecord& b) {
+                return a.rank != b.rank ? a.rank < b.rank : a.time_us < b.time_us;
+              });
+    // cluster-wide epoch reset: in-flight messages and partial reductions
+    // from the aborted attempt vanish; every rank restarts from the same
+    // committed checkpoint with fresh transport state
+    cluster_.channels_.clear();
+    auto& red = cluster_.red_;
+    red.arrived = 0;
+    red.sum.clear();
+    red.max_time = 0;
+    red.max_rank = -1;
+    std::fill(red.arrived_mask.begin(), red.arrived_mask.end(), std::uint8_t{0});
+    std::fill(cluster_.terminal_.begin(), cluster_.terminal_.end(), std::uint8_t{0});
+    rec.last = out;
+    rec.arrived = 0;
+    rec.max_arrival = 0;
+    ++rec.generation;
+    cluster_.cv_.notify_all();
+  } else {
+    cluster_.cv_.wait(lock, [&]() QUDA_REQUIRES(cluster_.mutex_) {
+      return cluster_.aborted_ || rec.generation != my_generation;
+    });
+    if (rec.generation == my_generation) {
+      if (cluster_.abort_kind_ == VirtualCluster::AbortKind::Timeout)
+        throw CommTimeout("peer rank raised CommTimeout during recovery");
+      throw std::runtime_error("peer rank aborted during recovery");
+    }
+    out = rec.last;
+  }
+  clock_.now_us = std::max(clock_.now_us, out.resume_us);
+  return out;
+}
+
 RankContext::SendStatus RankContext::isend(int dst, int tag, std::vector<std::byte> payload,
                                            std::int64_t modeled_bytes) {
+  check_death();
   SendStatus status;
   Message m;
   m.payload = std::move(payload);
@@ -100,6 +191,7 @@ void RankContext::raise_timeout(const std::string& what) {
 }
 
 RankContext::PendingRecv RankContext::irecv(int src, int tag) {
+  check_death();
   PendingRecv p{src, tag, clock_.now_us};
   clock_.advance(spec_.net.mpi_overhead_us);
   tracer_.instant(trace::Cat::Comm, "irecv", trace::kTrackHost, p.post_time_us, 0, src, tag);
@@ -107,6 +199,7 @@ RankContext::PendingRecv RankContext::irecv(int src, int tag) {
 }
 
 RecvHandle RankContext::wait(PendingRecv& pending, double wall_timeout_ms) {
+  check_death();
   if (pending.consumed)
     throw std::logic_error("RankContext::wait() called twice on the same PendingRecv");
   pending.consumed = true;
@@ -122,6 +215,21 @@ RecvHandle RankContext::wait(PendingRecv& pending, double wall_timeout_ms) {
       while (!chan.queue.empty() && chan.queue.front().dropped && !chan.queue.front().failed)
         chan.queue.pop_front();
       if (!chan.queue.empty()) break;
+      // Failure detector: an empty channel from a terminal (dead or
+      // recovering) source can never fill -- its sends happen-before its
+      // terminal marking in program order -- so the outcome is deterministic
+      // even though the *wall* moment we notice is not.  The clock stays
+      // untouched; detection latency is charged once, at the rendezvous.
+      if (pending.src < static_cast<int>(cluster_.terminal_.size()) &&
+          cluster_.terminal_[static_cast<std::size_t>(pending.src)]) {
+        DeathKind kind = DeathKind::Crash;
+        for (const DeathRecord& d : cluster_.deaths_)
+          if (d.rank == pending.src) kind = d.kind;
+        throw RankFailure("rank " + std::to_string(pending.src) +
+                              " went silent while rank " + std::to_string(rank_) +
+                              " was waiting on it",
+                          pending.src, kind);
+      }
       if (cluster_.aborted_) {
         if (cluster_.abort_kind_ == VirtualCluster::AbortKind::Timeout)
           throw CommTimeout("peer rank raised CommTimeout during recv");
@@ -134,7 +242,7 @@ RecvHandle RankContext::wait(PendingRecv& pending, double wall_timeout_ms) {
             core::now_for_watchdog() +
             std::chrono::microseconds(static_cast<std::int64_t>(wall_timeout_ms * 1e3));
         if (cluster_.cv_.wait_until(lock, deadline) == std::cv_status::timeout &&
-            chan.queue.empty() && !cluster_.aborted_) {
+            chan.queue.empty() && !cluster_.aborted_ && cluster_.deaths_.empty()) {
           lock.unlock();
           raise_timeout("wall-clock timeout waiting for message from rank " +
                         std::to_string(pending.src));
@@ -178,6 +286,7 @@ RecvHandle RankContext::recv(int src, int tag) {
 }
 
 void RankContext::allreduce_sum(double* values, int count) {
+  check_death();
   const int n = spec_.num_ranks();
   if (n == 1) return;
   const double reduce_begin_us = clock_.now_us;
@@ -187,13 +296,35 @@ void RankContext::allreduce_sum(double* values, int count) {
   const double step_cost =
       spec_.net.ib_latency_us + spec_.net.mpi_overhead_us; // small payload per step
 
+  // raised when a terminal rank can never arrive at this generation; which
+  // terminal rank we name is informational only (never fed into timing or
+  // traces), so scanning the racy death set here is harmless
+  auto raise_rank_failure = [&]() QUDA_REQUIRES(cluster_.mutex_) -> void {
+    int failed = -1;
+    for (std::size_t r = 0; r < cluster_.terminal_.size() && failed < 0; ++r)
+      if (cluster_.terminal_[r] &&
+          (r >= cluster_.red_.arrived_mask.size() || !cluster_.red_.arrived_mask[r]))
+        failed = static_cast<int>(r);
+    DeathKind kind = DeathKind::Crash;
+    for (const DeathRecord& d : cluster_.deaths_)
+      if (d.rank == failed) kind = d.kind;
+    throw RankFailure("rank " + std::to_string(failed) +
+                          " went silent during an allreduce joined by rank " +
+                          std::to_string(rank_),
+                      failed, kind);
+  };
+
   core::MutexLock lock(cluster_.mutex_);
   auto& red = cluster_.red_;
   const std::int64_t my_generation = red.generation;
+  if (red.arrived_mask.size() != static_cast<std::size_t>(n))
+    red.arrived_mask.assign(static_cast<std::size_t>(n), 0);
+  if (cluster_.reduction_blocked_by_failure()) raise_rank_failure();
   if (red.sum.empty()) red.sum.assign(static_cast<std::size_t>(count), 0.0);
   if (std::int64_t(red.sum.size()) != count)
     throw std::logic_error("mismatched allreduce vector lengths across ranks");
   for (int i = 0; i < count; ++i) red.sum[static_cast<std::size_t>(i)] += values[i];
+  red.arrived_mask[static_cast<std::size_t>(rank_)] = 1;
   // track the gating rank (argmax arrival, ties to the lowest rank so the
   // record is deterministic under any OS interleaving of equal clocks)
   if (red.arrived == 0 || clock_.now_us > red.max_time ||
@@ -210,13 +341,19 @@ void RankContext::allreduce_sum(double* values, int count) {
     red.max_time = 0;
     red.max_rank = -1;
     red.arrived = 0;
+    std::fill(red.arrived_mask.begin(), red.arrived_mask.end(), std::uint8_t{0});
     ++red.generation;
     cluster_.cv_.notify_all();
   } else {
     cluster_.cv_.wait(lock, [&]() QUDA_REQUIRES(cluster_.mutex_) {
-      return cluster_.aborted_ || red.generation != my_generation;
+      return cluster_.aborted_ || red.generation != my_generation ||
+             cluster_.reduction_blocked_by_failure();
     });
     if (red.generation == my_generation) {
+      // a generation that can never complete aborts with *no* collective
+      // span recorded on any participant, keeping the per-rank collective
+      // counts the critical-path linker cross-validates symmetric
+      if (cluster_.reduction_blocked_by_failure()) raise_rank_failure();
       if (cluster_.abort_kind_ == VirtualCluster::AbortKind::Timeout)
         throw CommTimeout("peer rank raised CommTimeout during allreduce");
       throw std::runtime_error("peer rank aborted during allreduce");
@@ -234,6 +371,22 @@ void RankContext::allreduce_sum(double* values, int count) {
 void RankContext::barrier() {
   double v = 0.0;
   allreduce_sum(&v, 1);
+}
+
+void VirtualCluster::register_death(int rank, DeathKind kind, double time_us) {
+  {
+    core::MutexLock lock(mutex_);
+    deaths_.push_back(DeathRecord{rank, kind, time_us});
+    if (rank < static_cast<int>(terminal_.size()))
+      terminal_[static_cast<std::size_t>(rank)] = 1;
+  }
+  cv_.notify_all();
+}
+
+bool VirtualCluster::reduction_blocked_by_failure() const {
+  for (std::size_t r = 0; r < terminal_.size(); ++r)
+    if (terminal_[r] && (r >= red_.arrived_mask.size() || !red_.arrived_mask[r])) return true;
+  return false;
 }
 
 void VirtualCluster::poison(AbortKind kind) {
@@ -254,6 +407,10 @@ void VirtualCluster::run(const std::function<void(RankContext&)>& fn) {
     aborted_ = false;
     abort_kind_ = AbortKind::None;
     channels_.clear();
+    deaths_.clear();
+    terminal_.assign(static_cast<std::size_t>(n), 0);
+    red_.arrived_mask.assign(static_cast<std::size_t>(n), 0);
+    recovery_ = RecoverySync{};
   }
   // tracing turns on via the spec or the QUDA_SIM_TRACE environment variable
   // (whose value doubles as the Chrome JSON export path)
@@ -287,6 +444,17 @@ void VirtualCluster::run(const std::function<void(RankContext&)>& fn) {
           if (!first_error) first_error = std::current_exception();
         }
         poison(AbortKind::Timeout);
+      } catch (const RankDeath& d) {
+        // a death that escapes fn means no recovery handler was installed;
+        // surface it as a regular error rather than an opaque foreign type
+        {
+          core::MutexLock lock(error_mutex);
+          if (!first_error)
+            first_error = std::make_exception_ptr(std::runtime_error(
+                "rank " + std::to_string(d.rank) + " died (" + death_kind_name(d.kind) +
+                ") with no recovery handler installed"));
+        }
+        poison(AbortKind::Error);
       } catch (...) {
         {
           core::MutexLock lock(error_mutex);
@@ -301,8 +469,11 @@ void VirtualCluster::run(const std::function<void(RankContext&)>& fn) {
   // fault/recovery accounting survives even a failed run -- tests assert on
   // counters after catching CommTimeout
   fault_totals_ = FaultCounters{};
+  per_rank_counters_.clear();
+  per_rank_counters_.reserve(static_cast<std::size_t>(n));
   makespan_us_ = 0;
   for (auto& c : contexts) {
+    per_rank_counters_.push_back(c->faults().counters());
     fault_totals_ += c->faults().counters();
     makespan_us_ = std::max(makespan_us_, c->clock().now_us);
   }

@@ -43,6 +43,26 @@ struct SimClock {
 
 class VirtualCluster;
 
+// one registered process death (crash or hang) of the current failure epoch
+struct DeathRecord {
+  int rank = -1;
+  DeathKind kind = DeathKind::Crash;
+  double time_us = 0; // the dead rank's clock when it went silent
+};
+
+// Result of one coordinated recovery epoch, published to every rank by the
+// recovery rendezvous.  resume_us is the cluster-wide clock every rank
+// resumes at: the max over all ranks' rendezvous-arrival clocks (which
+// already carry rollback/restore/respawn charges) and the failure
+// detector's completion time, max over the epoch's deaths of
+// (death time + heartbeat_interval_us | hang_timeout_us).
+struct RecoveryEpoch {
+  int epoch = 0;      // 1-based index of this completed epoch
+  double resume_us = 0;
+  double detect_us = 0;
+  std::vector<DeathRecord> deaths; // sorted by rank (deterministic)
+};
+
 // a matched in-flight message
 struct Message {
   std::vector<std::byte> payload;  // empty in Modeled mode
@@ -146,6 +166,23 @@ public:
   }
   void barrier();
 
+  // Process-failure machinery (see DESIGN.md §10).  check_death() runs at
+  // every transport-op entry: when this rank's armed death draw is due it
+  // registers the death (waking every blocked peer) and throws RankDeath
+  // with the clock untouched.  Peers discover the silence as a typed
+  // RankFailure -- wait() throws when its source is terminal with an empty
+  // channel, allreduce when a terminal rank can no longer arrive -- also
+  // with their clocks untouched, so recovery timing is charged in exactly
+  // one place (the recovery code driving the rendezvous).
+  void check_death();
+  // mark this rank terminal (recovering) so peers blocked on it unblock
+  void enter_recovery();
+  // Coordinated epoch barrier all ranks (survivors + respawned) reach after
+  // charging their local recovery costs: the last arrival folds the epoch's
+  // deaths into a RecoveryEpoch, resets channels/reductions/terminal flags,
+  // and every rank resumes with its clock at resume_us.
+  RecoveryEpoch recovery_rendezvous();
+
 private:
   VirtualCluster& cluster_;
   int rank_;
@@ -173,6 +210,12 @@ public:
   // (populated even when a rank threw)
   const FaultCounters& fault_totals() const { return fault_totals_; }
 
+  // the per-rank counters behind fault_totals(), indexed by rank (tests
+  // assert the per-rank values sum to the cluster totals)
+  const std::vector<FaultCounters>& per_rank_fault_counters() const {
+    return per_rank_counters_;
+  }
+
   // per-rank event streams of the last run() when tracing was enabled via
   // ClusterSpec::trace or QUDA_SIM_TRACE (populated even when a rank threw)
   const trace::TraceReport& trace() const { return trace_report_; }
@@ -192,6 +235,12 @@ private:
 
   // mark the cluster failed and wake every blocked rank
   void poison(AbortKind kind);
+
+  // record a process death for the current failure epoch and wake everyone
+  void register_death(int rank, DeathKind kind, double time_us);
+  // true when some terminal (dead or recovering) rank has not arrived at
+  // the in-flight reduction generation, i.e. it can never complete
+  bool reduction_blocked_by_failure() const QUDA_REQUIRES(mutex_);
 
   ClusterSpec spec_;
   FaultModel fault_model_;
@@ -219,10 +268,29 @@ private:
     double done_gate_time = 0;
     int done_gate_rank = 0;
     std::int64_t generation = 0;
+    // which ranks have arrived at the in-flight generation; the failure
+    // detector needs it to tell "terminal rank already contributed" (the
+    // reduction still completes) from "can never complete" (survivors must
+    // raise RankFailure)
+    std::vector<std::uint8_t> arrived_mask;
   } red_ QUDA_GUARDED_BY(mutex_);
+
+  // process-failure state of the current epoch: registered deaths, and the
+  // terminal flags (dead or recovering) that unblock waiting peers
+  std::vector<DeathRecord> deaths_ QUDA_GUARDED_BY(mutex_);
+  std::vector<std::uint8_t> terminal_ QUDA_GUARDED_BY(mutex_);
+
+  // generation-counted recovery rendezvous (all n ranks, incl. respawned)
+  struct RecoverySync {
+    int arrived = 0;
+    double max_arrival = 0;
+    std::int64_t generation = 0;
+    RecoveryEpoch last; // published by the completing arrival
+  } recovery_ QUDA_GUARDED_BY(mutex_);
 
   double makespan_us_ = 0;
   FaultCounters fault_totals_;
+  std::vector<FaultCounters> per_rank_counters_;
   trace::TraceReport trace_report_;
 };
 

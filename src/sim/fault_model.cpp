@@ -25,13 +25,58 @@ double u01(std::uint64_t bits) {
   return static_cast<double>(bits >> 11) * 0x1.0p-53;
 }
 
-constexpr std::uint64_t kSaltDrop = 0x64726f70;    // "drop"
-constexpr std::uint64_t kSaltDelay = 0x646c6179;   // "dlay"
-constexpr std::uint64_t kSaltCorrupt = 0x63727074; // "crpt"
-constexpr std::uint64_t kSaltDevice = 0x64657620;  // "dev "
-constexpr std::uint64_t kSaltStall = 0x73746c6c;   // "stll"
+constexpr std::uint64_t kSaltDrop = 0x64726f70;      // "drop"
+constexpr std::uint64_t kSaltDelay = 0x646c6179;     // "dlay"
+constexpr std::uint64_t kSaltCorrupt = 0x63727074;   // "crpt"
+constexpr std::uint64_t kSaltDevice = 0x64657620;    // "dev "
+constexpr std::uint64_t kSaltStall = 0x73746c6c;     // "stll"
+constexpr std::uint64_t kSaltCrash = 0x63727368;     // "crsh"
+constexpr std::uint64_t kSaltHang = 0x68616e67;      // "hang"
+constexpr std::uint64_t kSaltDeathTime = 0x6474696d; // "dtim"
+
+// rate must be a number inside [0, 1]; NaN fails both comparisons
+bool rate_ok(double r) { return r >= 0.0 && r <= 1.0; }
+
+[[noreturn]] void reject(const char* field, double value, const char* why) {
+  throw FaultConfigError(std::string("FaultConfig.") + field + " = " +
+                         std::to_string(value) + ": " + why);
+}
 
 } // namespace
+
+void FaultConfig::validate() const {
+  struct Rate {
+    const char* name;
+    double value;
+  };
+  const Rate rates[] = {{"drop_rate", drop_rate},
+                        {"delay_rate", delay_rate},
+                        {"corrupt_rate", corrupt_rate},
+                        {"device_flip_rate", device_flip_rate},
+                        {"stall_rate", stall_rate},
+                        {"crash_rate", crash_rate},
+                        {"hang_rate", hang_rate}};
+  for (const Rate& r : rates)
+    if (!rate_ok(r.value)) reject(r.name, r.value, "rates are probabilities in [0, 1]");
+  if (!(delay_factor >= 1.0))
+    reject("delay_factor", delay_factor, "a delayed path cannot beat the nominal one");
+  const Rate durations[] = {{"stall_us", stall_us},
+                            {"heartbeat_interval_us", heartbeat_interval_us},
+                            {"hang_timeout_us", hang_timeout_us},
+                            {"respawn_us", respawn_us},
+                            {"rollback_us", rollback_us}};
+  for (const Rate& d : durations)
+    if (!(d.value >= 0.0)) reject(d.name, d.value, "durations are non-negative");
+  if (max_failures < 0)
+    reject("max_failures", max_failures, "recovery budget cannot be negative");
+  if (process_faults() && !(crash_window_us > 0.0))
+    reject("crash_window_us", crash_window_us,
+           "death times are drawn uniformly inside a positive window");
+  // seed 0 collapses the seed^salt mixing into the bare salts, making the
+  // per-kind draws correlated across kinds; reject the ambiguity outright
+  if (enabled() && seed == 0)
+    reject("seed", 0, "seed 0 is ambiguous (degenerate per-kind mixing); pick any nonzero seed");
+}
 
 MessageFault FaultModel::message_fault(int rank, std::uint64_t event) const {
   MessageFault f;
@@ -62,6 +107,23 @@ std::optional<std::uint64_t> FaultModel::device_fault(int rank, std::uint64_t ev
   const std::uint64_t bits = draw(config_.seed, rank, event, kSaltDevice);
   if (u01(bits) >= config_.device_flip_rate) return std::nullopt;
   return mix64(bits);
+}
+
+std::optional<DeathDraw> FaultModel::death_schedule(int rank, std::uint64_t incarnation) const {
+  if (!config_.process_faults()) return std::nullopt;
+  DeathDraw d;
+  if (config_.crash_rate > 0 &&
+      u01(draw(config_.seed, rank, incarnation, kSaltCrash)) < config_.crash_rate) {
+    d.kind = DeathKind::Crash;
+  } else if (config_.hang_rate > 0 &&
+             u01(draw(config_.seed, rank, incarnation, kSaltHang)) < config_.hang_rate) {
+    d.kind = DeathKind::Hang;
+  } else {
+    return std::nullopt;
+  }
+  d.offset_us =
+      u01(draw(config_.seed, rank, incarnation, kSaltDeathTime)) * config_.crash_window_us;
+  return d;
 }
 
 } // namespace quda::sim

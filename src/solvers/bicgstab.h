@@ -7,6 +7,7 @@
 // All reductions are routed through the operator's global_sum hook so the
 // identical code runs multi-GPU (Section VI-E).
 
+#include "solvers/checkpoint.h"
 #include "solvers/linear_operator.h"
 #include "solvers/solver.h"
 #include "trace/trace.h"
@@ -22,9 +23,13 @@ template <typename P> SpinorField<P> make_like(const SpinorField<P>& proto) {
 }
 } // namespace detail
 
+// every 10th iteration of the uniform solvers is a checkpointable boundary
+// (the mixed solver uses accepted reliable updates instead)
+inline constexpr int kUniformCheckpointStride = 10;
+
 template <typename P>
 SolverStats solve_bicgstab(LinearOperator<P>& op, SpinorField<P>& x, const SpinorField<P>& b,
-                           const SolverParams& params) {
+                           const SolverParams& params, CheckpointManager<P>* ckpt = nullptr) {
   SolverStats stats;
 
   SpinorField<P> r = detail::make_like(b);
@@ -129,6 +134,8 @@ SolverStats solve_bicgstab(LinearOperator<P>& op, SpinorField<P>& x, const Spino
     if (trace::RankTracer* tr = trace::current())
       tr->instant(trace::Cat::Solver, "iteration", trace::kTrackSolver, tr->now_us(), 0, -1, -1,
                   k);
+    if (ckpt != nullptr && k % kUniformCheckpointStride == 0 && r2 > stop)
+      ckpt->observe_boundary(x, k);
     if (params.verbose && (k % 10 == 0))
       std::printf("BiCGstab: iter %4d  |r|/|b| = %.3e\n", k, std::sqrt(r2 / b2));
   }

@@ -4,6 +4,7 @@
 // CG alongside BiCGstab (Section V); for the gamma_5-Hermitian Wilson-clover
 // matrix the dagger application costs one extra pair of gamma_5 sweeps.
 
+#include "solvers/checkpoint.h"
 #include "solvers/linear_operator.h"
 #include "solvers/solver.h"
 
@@ -14,7 +15,7 @@ namespace quda {
 
 template <typename P>
 SolverStats solve_cgnr(LinearOperator<P>& op, SpinorField<P>& x, const SpinorField<P>& b,
-                       const SolverParams& params) {
+                       const SolverParams& params, CheckpointManager<P>* ckpt = nullptr) {
   SolverStats stats;
 
   SpinorField<P> r = SpinorField<P>::like(b); // normal-eq residual
@@ -92,6 +93,8 @@ SolverStats solve_cgnr(LinearOperator<P>& op, SpinorField<P>& x, const SpinorFie
       if (params.verbose)
         std::printf("CGNR: iter %4d  |r|/|b| = %.3e\n", k, std::sqrt(true_r2 / b2));
       if (true_r2 <= stop) break;
+      // the periodic true-residual check doubles as the checkpoint boundary
+      if (ckpt != nullptr) ckpt->observe_boundary(x, k);
     }
   }
 

@@ -31,7 +31,8 @@ void convert_spinor_field(SpinorField<PDst>& dst, const SpinorField<PSrc>& src) 
 template <typename PHi, typename PLo>
 SolverStats solve_bicgstab_reliable(LinearOperator<PHi>& op_hi, LinearOperator<PLo>& op_lo,
                                     SpinorField<PHi>& x, const SpinorField<PHi>& b,
-                                    const SolverParams& params) {
+                                    const SolverParams& params,
+                                    CheckpointManager<PHi>* ckpt = nullptr) {
   SolverStats stats;
 
   SpinorField<PHi> r_hi = SpinorField<PHi>::like(b);
@@ -213,6 +214,9 @@ SolverStats solve_bicgstab_reliable(LinearOperator<PHi>& op_hi, LinearOperator<P
       convert_spinor_field(r, r_hi);
       op_lo.account_blas(1, 1);
       maxrr = std::sqrt(r2);
+      // accepted reliable updates are the checkpointable boundaries: x is
+      // exactly the iterate a restart would rebuild the Krylov space from
+      if (ckpt != nullptr && r2 > stop) ckpt->observe_boundary(x, k);
       if (tr != nullptr)
         tr->span(trace::Cat::Solver, "reliable_update", trace::kTrackSolver, reliable_begin_us,
                  tr->now_us(), 0, -1, -1, k);

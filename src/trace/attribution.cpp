@@ -14,6 +14,7 @@ const char* path_cat_name(PathCat cat) {
     case PathCat::Pcie: return "pcie_transfer";
     case PathCat::StallSync: return "stall_sync";
     case PathCat::SolverSerial: return "solver_serial";
+    case PathCat::Recovery: return "recovery";
   }
   return "unknown";
 }
@@ -37,6 +38,7 @@ PathCat classify_segment(const PathSegment& seg) {
         case GapKind::CommOverhead: return PathCat::ExposedComm;
         case GapKind::DeviceIssue: return PathCat::StallSync;
         case GapKind::Solver: return PathCat::SolverSerial;
+        case GapKind::Recovery: return PathCat::Recovery;
       }
   }
   return PathCat::SolverSerial;

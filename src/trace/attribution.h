@@ -22,8 +22,9 @@ enum class PathCat : std::uint8_t {
   Pcie,         // PCIe bus occupancy on the path
   StallSync,    // launch overheads, issue gaps, unresolved sync stalls
   SolverSerial, // host-serial solver logic between operations
+  Recovery,     // checkpoint writes and rank-failure rollback/restore/respawn
 };
-inline constexpr int kNumPathCats = 6;
+inline constexpr int kNumPathCats = 7;
 
 const char* path_cat_name(PathCat cat);
 PathCat classify_segment(const PathSegment& seg);
@@ -49,6 +50,7 @@ struct CritSummary {
   double pcie_us() const { return cat_us[static_cast<int>(PathCat::Pcie)]; }
   double stall_us() const { return cat_us[static_cast<int>(PathCat::StallSync)]; }
   double solver_us() const { return cat_us[static_cast<int>(PathCat::SolverSerial)]; }
+  double recovery_us() const { return cat_us[static_cast<int>(PathCat::Recovery)]; }
 };
 
 // full analysis of one traced run: build the program model, walk the

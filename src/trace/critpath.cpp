@@ -68,16 +68,26 @@ private:
         comm_ivs_.push_back({e.ts_us, e.end_us});
       else if (e.cat == Cat::Op && (named(e, "halo_dslash") || named(e, "gauge_exchange")))
         dev_ivs_.push_back({e.ts_us, e.end_us});
+      else if (e.cat == Cat::Fault &&
+               (named(e, "checkpoint") || named(e, "ckpt_commit") || named(e, "rollback") ||
+                named(e, "restore") || named(e, "detect") || named(e, "respawn") ||
+                named(e, "resume")))
+        rec_ivs_.push_back({e.ts_us, e.end_us});
     }
     auto by_begin = [](const Interval& a, const Interval& b) { return a.begin < b.begin; };
     std::sort(comm_ivs_.begin(), comm_ivs_.end(), by_begin);
     std::sort(dev_ivs_.begin(), dev_ivs_.end(), by_begin);
+    std::sort(rec_ivs_.begin(), rec_ivs_.end(), by_begin);
   }
 
-  // classify a gap by its midpoint; comm containers win over device ones
-  // because send/recv_frame nest inside halo_dslash.  Midpoints are
-  // monotonically increasing, so scan pointers suffice.
+  // classify a gap by its midpoint; recovery containers win (nothing nests
+  // inside them), then comm containers over device ones because
+  // send/recv_frame nest inside halo_dslash.  Midpoints are monotonically
+  // increasing, so scan pointers suffice.
   GapKind classify(double mid) {
+    while (rec_idx_ < rec_ivs_.size() && rec_ivs_[rec_idx_].end <= mid) ++rec_idx_;
+    if (rec_idx_ < rec_ivs_.size() && rec_ivs_[rec_idx_].begin <= mid)
+      return GapKind::Recovery;
     while (comm_idx_ < comm_ivs_.size() && comm_ivs_[comm_idx_].end <= mid) ++comm_idx_;
     if (comm_idx_ < comm_ivs_.size() && comm_ivs_[comm_idx_].begin <= mid)
       return GapKind::CommOverhead;
@@ -145,8 +155,13 @@ private:
       case Cat::Collective:
         if (!e.instant) return on_collective(e);
         return;
+      case Cat::Fault:
+        // a recovery epoch cleared the transport channels: receives posted
+        // before the reset can never be waited on again
+        if (e.instant && named(e, "recovery_reset")) irecv_fifo_.clear();
+        return;
       default:
-        return; // Fault / Solver / Op instants and containers
+        return; // Solver / Op instants and containers
     }
   }
 
@@ -375,15 +390,19 @@ private:
   ProgramModel& model_;
   RankProgram& prog_;
   double cursor_ = 0;
-  std::vector<Interval> comm_ivs_, dev_ivs_;
-  std::size_t comm_idx_ = 0, dev_idx_ = 0;
+  std::vector<Interval> comm_ivs_, dev_ivs_, rec_ivs_;
+  std::size_t comm_idx_ = 0, dev_idx_ = 0, rec_idx_ = 0;
   std::vector<ResState> streams_, engines_;
   std::map<std::pair<int, int>, std::deque<int>> irecv_fifo_; // (src, tag)
 };
 
 // match every Wait to its sender's Isend: FIFO per (src, dst, tag) channel,
-// dropped attempts excluded (the transport skips their tombstones)
-void link_channels(ProgramModel& model) {
+// dropped attempts excluded (the transport skips their tombstones).  Every
+// recovery_reset instant marks a cluster-wide channel purge at that sim
+// time (identical on all ranks), so a wait only matches sends posted since
+// the last reset preceding it -- earlier unconsumed sends died with the
+// failure epoch.
+void link_channels(ProgramModel& model, const std::vector<double>& resets) {
   std::map<std::tuple<int, int, int>, std::deque<int>> sends;
   for (std::size_t r = 0; r < model.ranks.size(); ++r) {
     const auto& steps = model.ranks[r].steps;
@@ -399,6 +418,16 @@ void link_channels(ProgramModel& model) {
         return;
       }
       auto& q = sends[{s.peer, static_cast<int>(r), s.tag}];
+      // purge sends that predate the last reset at-or-before this wait
+      const auto reset = std::upper_bound(resets.begin(), resets.end(), s.begin_us);
+      if (reset != resets.begin()) {
+        const double purge_before = *(reset - 1);
+        while (!q.empty() &&
+               model.ranks[static_cast<std::size_t>(s.peer)]
+                       .steps[static_cast<std::size_t>(q.front())]
+                       .begin_us < purge_before)
+          q.pop_front();
+      }
       if (q.empty()) {
         model.error = "mpi_wait without a matching isend on its channel";
         return;
@@ -456,7 +485,16 @@ ProgramModel build_model(const TraceReport& report, const ModelConfig& config) {
     RankExtractor(report.per_rank[r], static_cast<int>(r), model).run();
     if (!model.ok()) return model;
   }
-  link_channels(model);
+  // cluster-wide channel-purge times (one per recovery epoch; every rank
+  // records the same set, the union is just belt and braces)
+  std::vector<double> resets;
+  for (const auto& events : report.per_rank)
+    for (const Event& e : events)
+      if (e.instant && e.cat == Cat::Fault && named(e, "recovery_reset"))
+        resets.push_back(e.ts_us);
+  std::sort(resets.begin(), resets.end());
+  resets.erase(std::unique(resets.begin(), resets.end()), resets.end());
+  link_channels(model, resets);
   if (!model.ok()) return model;
   link_collectives(model);
   return model;

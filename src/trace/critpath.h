@@ -74,6 +74,7 @@ enum class GapKind : std::uint8_t {
   Solver,       // solver-serial host work (default)
   CommOverhead, // inside send_frame / recv_frame: framing, checksums, MPI calls
   DeviceIssue,  // inside halo_dslash / gauge_exchange: issue + launch overheads
+  Recovery,     // inside checkpoint/rollback/restore/detect/respawn/resume spans
 };
 
 struct Step {

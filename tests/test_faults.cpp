@@ -65,6 +65,125 @@ TEST(FaultModel, RatesAreHonoredApproximately) {
   EXPECT_NEAR(static_cast<double>(drops) / n, cfg.drop_rate, 0.03);
 }
 
+// --- FaultConfig validation --------------------------------------------------
+
+// every rejected field raises the typed FaultConfigError naming the field
+TEST(FaultConfigValidate, RejectsEachBadField) {
+  auto rejects = [](void (*mutate)(sim::FaultConfig&)) {
+    sim::FaultConfig cfg;
+    cfg.seed = 1;
+    mutate(cfg);
+    EXPECT_THROW(cfg.validate(), sim::FaultConfigError);
+  };
+  // probabilities must live in [0, 1]
+  rejects([](sim::FaultConfig& c) { c.drop_rate = -0.1; });
+  rejects([](sim::FaultConfig& c) { c.drop_rate = 1.5; });
+  rejects([](sim::FaultConfig& c) { c.delay_rate = -1.0; });
+  rejects([](sim::FaultConfig& c) { c.corrupt_rate = 2.0; });
+  rejects([](sim::FaultConfig& c) { c.device_flip_rate = -0.5; });
+  rejects([](sim::FaultConfig& c) { c.stall_rate = 1.01; });
+  rejects([](sim::FaultConfig& c) { c.crash_rate = -0.01; });
+  rejects([](sim::FaultConfig& c) { c.hang_rate = 1.0001; });
+  // a delayed path cannot beat the nominal one
+  rejects([](sim::FaultConfig& c) { c.delay_factor = 0.5; });
+  // durations are non-negative
+  rejects([](sim::FaultConfig& c) { c.stall_us = -1.0; });
+  rejects([](sim::FaultConfig& c) { c.heartbeat_interval_us = -1.0; });
+  rejects([](sim::FaultConfig& c) { c.hang_timeout_us = -1.0; });
+  rejects([](sim::FaultConfig& c) { c.respawn_us = -1.0; });
+  rejects([](sim::FaultConfig& c) { c.rollback_us = -1.0; });
+  // the recovery budget cannot be negative
+  rejects([](sim::FaultConfig& c) { c.max_failures = -1; });
+  // death times need a positive draw window once process faults are on
+  rejects([](sim::FaultConfig& c) {
+    c.crash_rate = 0.1;
+    c.crash_window_us = 0.0;
+  });
+  // seed 0 degenerates the per-kind seed^salt mixing
+  rejects([](sim::FaultConfig& c) {
+    c.seed = 0;
+    c.crash_rate = 0.1;
+  });
+}
+
+TEST(FaultConfigValidate, AcceptsDefaultsAndEnabledConfigs) {
+  sim::FaultConfig off; // all rates zero, seed 0: nothing enabled, valid
+  EXPECT_NO_THROW(off.validate());
+
+  sim::FaultConfig on;
+  on.seed = 42;
+  on.drop_rate = 0.1;
+  on.crash_rate = 0.05;
+  on.hang_rate = 0.05;
+  EXPECT_NO_THROW(on.validate());
+}
+
+// the cluster totals are exactly the sum of the per-rank counters, for
+// every field -- including the crash/hang/detection/recovery ones
+TEST(FaultCountersAgg, PerRankCountersSumToClusterTotals) {
+  sim::ClusterSpec spec = sim::ClusterSpec::jlab_9g(4);
+  spec.faults.seed = 606;
+  spec.faults.crash_rate = 0.5;
+  spec.faults.hang_rate = 0.3;
+  spec.faults.crash_window_us = 50.0;
+  spec.faults.drop_rate = 0.02;
+
+  sim::VirtualCluster cluster(spec);
+  cluster.run([&](sim::RankContext& ctx) {
+    const sim::FaultConfig& fc = ctx.spec().faults;
+    auto& c = ctx.faults().counters();
+    ctx.faults().arm_deaths(ctx.clock().now_us);
+    // distinct per-rank checkpoint accounting, so an aggregation bug that
+    // drops or double-counts a rank cannot cancel out
+    c.checkpoints_committed += ctx.rank() + 1;
+    c.checkpoint_us += 10.0 * (ctx.rank() + 1);
+    for (int iter = 0; iter < 50; ++iter) {
+      try {
+        ctx.allreduce_sum(1.0);
+      } catch (const sim::RankDeath&) { // this rank died: respawn + rejoin
+        ctx.clock().advance(fc.respawn_us);
+        ++c.respawns;
+        ++c.restores;
+        c.restore_us += fc.rollback_us;
+        ctx.faults().arm_deaths(ctx.clock().now_us);
+        (void)ctx.recovery_rendezvous();
+      } catch (const sim::RankFailure&) { // a peer died: detect + roll back
+        ctx.enter_recovery();
+        ++c.rank_failures_detected;
+        c.detection_us += fc.heartbeat_interval_us;
+        (void)ctx.recovery_rendezvous();
+      }
+    }
+  });
+
+  const auto& per_rank = cluster.per_rank_fault_counters();
+  ASSERT_EQ(per_rank.size(), 4u);
+  sim::FaultCounters sum;
+  for (const sim::FaultCounters& c : per_rank) sum += c;
+
+  const sim::FaultCounters& tot = cluster.fault_totals();
+  EXPECT_GT(tot.crashes + tot.hangs, 0) << "deaths must actually fire in this schedule";
+  EXPECT_EQ(sum.drops, tot.drops);
+  EXPECT_EQ(sum.delays, tot.delays);
+  EXPECT_EQ(sum.corruptions, tot.corruptions);
+  EXPECT_EQ(sum.device_flips, tot.device_flips);
+  EXPECT_EQ(sum.stalls, tot.stalls);
+  EXPECT_EQ(sum.checksum_errors, tot.checksum_errors);
+  EXPECT_EQ(sum.retries, tot.retries);
+  EXPECT_EQ(sum.recovered_messages, tot.recovered_messages);
+  EXPECT_DOUBLE_EQ(sum.recovery_us, tot.recovery_us);
+  EXPECT_EQ(sum.crashes, tot.crashes);
+  EXPECT_EQ(sum.hangs, tot.hangs);
+  EXPECT_EQ(sum.rank_failures_detected, tot.rank_failures_detected);
+  EXPECT_EQ(sum.respawns, tot.respawns);
+  EXPECT_EQ(sum.checkpoints_committed, tot.checkpoints_committed);
+  EXPECT_EQ(sum.restores, tot.restores);
+  EXPECT_DOUBLE_EQ(sum.detection_us, tot.detection_us);
+  EXPECT_DOUBLE_EQ(sum.checkpoint_us, tot.checkpoint_us);
+  EXPECT_DOUBLE_EQ(sum.restore_us, tot.restore_us);
+  EXPECT_EQ(sum.checkpoints_committed, 1 + 2 + 3 + 4);
+}
+
 // --- reliable delivery through the full solver stack -------------------------
 
 struct FaultFixture {

@@ -1,0 +1,336 @@
+// Rank-failure tolerance (DESIGN.md §10): seeded crash/hang injection,
+// heartbeat detection turning silent peer death into typed RankFailure, and
+// coordinated checkpoint/restart of the solver state.  Acceptance: a solve
+// with a mid-iteration rank crash completes via checkpoint/restart with the
+// fault-free true residual, fully deterministically (bit-identical
+// RecoveryReport, checkpoint digests, and trace files for a fixed seed at
+// any QUDA_SIM_THREADS budget), with no hang -- detection and recovery are
+// bounded in simulated time and attributed by the critical-path analyzer.
+
+#include "core/quda_api.h"
+#include "dirac/gauge_init.h"
+#include "exec/host_engine.h"
+#include "sim/fault_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace quda {
+namespace {
+
+struct RankFailureFixture {
+  Geometry g{LatticeDims{4, 4, 4, 8}};
+  HostGaugeField u;
+  HostSpinorField b;
+  InvertParams params;
+
+  RankFailureFixture() : u(g), b(g) {
+    make_weak_field_gauge(u, 0.2, 9000);
+    make_random_spinor(b, 9001);
+    params.mass = 0.1;
+    params.csw = 1.0;
+    params.precision = Precision::Single;
+    params.sloppy = Precision::Half;
+    params.tol = 1e-6;
+    params.delta = 1e-1;
+    params.max_iter = 2000;
+    params.checkpoint_interval = 1; // checkpoint at every reliable update
+  }
+
+  InvertResult run_clean(HostSpinorField& x) const {
+    return invert_multi_gpu(sim::ClusterSpec::jlab_9g(4), u, b, x, params);
+  }
+
+  // a crash schedule whose window sits inside the solve: deaths fire
+  // mid-iteration, not after the last allreduce
+  sim::ClusterSpec crashy_spec(std::uint64_t seed, double solve_us, double rate) const {
+    sim::ClusterSpec spec = sim::ClusterSpec::jlab_9g(4);
+    spec.faults.seed = seed;
+    spec.faults.crash_rate = rate;
+    spec.faults.crash_window_us = 0.5 * solve_us;
+    return spec;
+  }
+};
+
+double rel_diff(const HostSpinorField& a, const HostSpinorField& b, const Geometry& g) {
+  double num = 0, den = 0;
+  for (std::int64_t i = 0; i < g.volume(); ++i) {
+    num += norm2(a[i] - b[i]);
+    den += norm2(b[i]);
+  }
+  return den > 0 ? std::sqrt(num / den) : std::sqrt(num);
+}
+
+// acceptance: a mid-solve rank crash is detected, the cluster rolls back to
+// the last committed checkpoint, the dead rank's warm spare rejoins, and
+// the solve converges to the fault-free residual
+TEST(RankFailure, CrashMidSolveRecoversViaCheckpointRestart) {
+  RankFailureFixture f;
+
+  HostSpinorField x_clean(f.g);
+  const InvertResult clean = f.run_clean(x_clean);
+  ASSERT_TRUE(clean.stats.converged) << clean.stats.summary();
+  EXPECT_TRUE(clean.faults.clean());
+  EXPECT_GT(clean.faults.recovery.checkpoints, 0) << "checkpointing must be active";
+  EXPECT_EQ(clean.faults.recovery.failures, 0);
+  EXPECT_NE(clean.faults.recovery.checkpoint_digest, 0u);
+
+  const sim::ClusterSpec spec = f.crashy_spec(4242, clean.simulated_time_us, 0.35);
+  HostSpinorField x(f.g);
+  const InvertResult r = invert_multi_gpu(spec, f.u, f.b, x, f.params);
+
+  const RecoveryReport& rec = r.faults.recovery;
+  ASSERT_GT(rec.crashes, 0) << "the crash injection must actually fire";
+  EXPECT_GT(rec.failures, 0) << "a recovery epoch must have completed";
+  EXPECT_GT(rec.respawns, 0) << "the dead rank must come back as a warm spare";
+  EXPECT_GT(rec.restores, 0) << "survivors must roll back to the committed checkpoint";
+  EXPECT_GT(rec.detection_us, 0.0) << "failure detection has a modeled latency";
+  EXPECT_GT(rec.checkpoint_us, 0.0);
+  EXPECT_GT(rec.restore_us, 0.0);
+  EXPECT_FALSE(r.faults.clean());
+
+  // the recovered solve completes and matches the fault-free answer
+  ASSERT_TRUE(r.stats.converged) << r.stats.summary();
+  EXPECT_NEAR(r.stats.true_residual, clean.stats.true_residual, f.params.tol);
+  EXPECT_LT(rel_diff(x, x_clean, f.g), 1e-2);
+
+  // detection + recovery are bounded in simulated time, and cost time: each
+  // epoch can at worst pay detection + respawn + rollback/restore and redo
+  // work since the last checkpoint (bounded by one clean solve)
+  EXPECT_GT(r.simulated_time_us, clean.simulated_time_us);
+  const double per_epoch_us = spec.faults.crash_window_us + spec.faults.hang_timeout_us +
+                              spec.faults.respawn_us + spec.faults.rollback_us + 1e6 +
+                              clean.simulated_time_us;
+  EXPECT_LT(r.simulated_time_us,
+            clean.simulated_time_us + static_cast<double>(rec.failures) * per_epoch_us);
+}
+
+// a hung rank is indistinguishable from a crashed one at the transport, but
+// the failure detector charges the longer hang timeout
+TEST(RankFailure, HangIsDetectedViaHangTimeout) {
+  RankFailureFixture f;
+
+  HostSpinorField x_clean(f.g);
+  const InvertResult clean = f.run_clean(x_clean);
+  ASSERT_TRUE(clean.stats.converged) << clean.stats.summary();
+
+  sim::ClusterSpec spec = sim::ClusterSpec::jlab_9g(4);
+  spec.faults.seed = 4242;
+  spec.faults.hang_rate = 0.35;
+  spec.faults.crash_window_us = 0.5 * clean.simulated_time_us;
+
+  HostSpinorField x(f.g);
+  const InvertResult r = invert_multi_gpu(spec, f.u, f.b, x, f.params);
+  const RecoveryReport& rec = r.faults.recovery;
+  ASSERT_GT(rec.hangs, 0) << "the hang injection must actually fire";
+  EXPECT_EQ(rec.crashes, 0);
+  EXPECT_GE(rec.detection_us, spec.faults.hang_timeout_us)
+      << "a hang is only declared dead after the hang timeout";
+  ASSERT_TRUE(r.stats.converged) << r.stats.summary();
+  EXPECT_NEAR(r.stats.true_residual, clean.stats.true_residual, f.params.tol);
+}
+
+// with no committed checkpoint the recovery restarts from the initial
+// guess: slower, but still correct
+TEST(RankFailure, RecoveryWithoutCheckpointRestartsFromZero) {
+  RankFailureFixture f;
+
+  HostSpinorField x_clean(f.g);
+  const InvertResult clean = f.run_clean(x_clean);
+  ASSERT_TRUE(clean.stats.converged) << clean.stats.summary();
+
+  sim::ClusterSpec spec = f.crashy_spec(4242, clean.simulated_time_us, 0.35);
+  InvertParams p = f.params;
+  p.checkpoint_interval = 0; // checkpointing off
+
+  HostSpinorField x(f.g);
+  const InvertResult r = invert_multi_gpu(spec, f.u, f.b, x, p);
+  const RecoveryReport& rec = r.faults.recovery;
+  ASSERT_GT(rec.crashes, 0);
+  EXPECT_EQ(rec.checkpoints, 0);
+  EXPECT_EQ(rec.restores, 0);
+  EXPECT_EQ(rec.checkpoint_digest, 0u);
+  ASSERT_TRUE(r.stats.converged) << r.stats.summary();
+  EXPECT_NEAR(r.stats.true_residual, clean.stats.true_residual, f.params.tol);
+}
+
+// every rank dying on every incarnation exhausts the cluster-global
+// recovery budget: a typed abort on all ranks, never a hang
+TEST(RankFailure, RecoveryBudgetExhaustionAbortsDeterministically) {
+  RankFailureFixture f;
+  sim::ClusterSpec spec = sim::ClusterSpec::jlab_9g(4);
+  spec.faults.seed = 99;
+  spec.faults.crash_rate = 1.0; // every incarnation dies
+  spec.faults.crash_window_us = 2000.0;
+  spec.faults.max_failures = 2;
+  HostSpinorField x(f.g);
+  EXPECT_THROW(invert_multi_gpu(spec, f.u, f.b, x, f.params), std::runtime_error);
+}
+
+// the recovery spans show up in the critical-path attribution as a typed
+// Recovery category (detect/respawn/rollback/restore/resume + checkpoints)
+TEST(RankFailure, RecoveryIsAttributedOnTheCriticalPath) {
+  RankFailureFixture f;
+
+  HostSpinorField x_clean(f.g);
+  const InvertResult clean = f.run_clean(x_clean);
+  ASSERT_TRUE(clean.stats.converged) << clean.stats.summary();
+
+  // export the crashy trace under a well-known name: tools/quick_gate.sh
+  // lints it against the recovery pairing rules in tools/trace_lint.py
+  const std::string trace_base = "trace_rank_failure.json";
+  std::remove(trace_base.c_str());
+  for (int n = 1; n < 16; ++n) std::remove((trace_base + "." + std::to_string(n)).c_str());
+
+  sim::ClusterSpec spec = f.crashy_spec(4242, clean.simulated_time_us, 0.35);
+  spec.trace.enabled = true;
+  spec.trace.path = trace_base;
+  HostSpinorField x(f.g);
+  const InvertResult r = invert_multi_gpu(spec, f.u, f.b, x, f.params);
+  ASSERT_GT(r.faults.recovery.crashes, 0);
+  ASSERT_TRUE(r.stats.converged) << r.stats.summary();
+
+  ASSERT_TRUE(r.traced);
+  ASSERT_TRUE(r.critpath.valid) << r.critpath.error;
+  EXPECT_GT(r.critpath.recovery_us(), 0.0)
+      << "recovery time must be attributed as its own category";
+  // the walk still tiles the makespan exactly
+  EXPECT_DOUBLE_EQ(r.critpath.path_us, r.critpath.makespan_us);
+}
+
+// The exporters route every output path through trace::unique_trace_path,
+// whose process-wide counter may suffix our base name (base.1, base.2, ...)
+// depending on how many exports ran earlier in this process.  Each run here
+// uses a distinct base, so exactly one suffixed variant exists: find it,
+// read it, delete it.
+std::string slurp_export(const std::string& base) {
+  for (int n = 0; n < 64; ++n) {
+    const std::string path = n == 0 ? base : base + "." + std::to_string(n);
+    std::ifstream in(path, std::ios::binary);
+    if (!in) continue;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    std::remove(path.c_str());
+    return ss.str();
+  }
+  return "";
+}
+
+// acceptance: for a fixed seed the whole recovery story -- report,
+// checkpoint digests, exported trace (timestamps included), checkpoint
+// event log -- is bit-identical across runs and QUDA_SIM_THREADS budgets
+TEST(RankFailure, RecoveryIsDeterministicAcrossThreadBudgets) {
+  RankFailureFixture f;
+
+  HostSpinorField x_clean(f.g);
+  const InvertResult clean = f.run_clean(x_clean);
+  ASSERT_TRUE(clean.stats.converged) << clean.stats.summary();
+
+  struct RunResult {
+    InvertResult r;
+    HostSpinorField x;
+    std::string trace_json;
+    std::string ckpt_log;
+  };
+  int run_index = 0;
+  auto run_at_budget = [&](int budget) {
+    exec::set_thread_budget(budget);
+    sim::ClusterSpec spec = f.crashy_spec(4242, clean.simulated_time_us, 0.35);
+    spec.trace.enabled = true;
+    const std::string trace_path =
+        "rank_failure_det_" + std::to_string(run_index) + ".trace.json";
+    const std::string ckpt_path =
+        "rank_failure_det_" + std::to_string(run_index) + ".ckpt.jsonl";
+    ++run_index;
+    spec.trace.path = trace_path;
+    setenv("QUDA_SIM_CKPT", ckpt_path.c_str(), 1);
+    RunResult out{InvertResult{}, HostSpinorField(f.g), "", ""};
+    out.r = invert_multi_gpu(spec, f.u, f.b, out.x, f.params);
+    unsetenv("QUDA_SIM_CKPT");
+    out.trace_json = slurp_export(trace_path);
+    out.ckpt_log = slurp_export(ckpt_path);
+    return out;
+  };
+
+  const RunResult base = run_at_budget(1);
+  ASSERT_GT(base.r.faults.recovery.crashes, 0);
+  ASSERT_TRUE(base.r.stats.converged) << base.r.stats.summary();
+  ASSERT_FALSE(base.trace_json.empty());
+  ASSERT_FALSE(base.ckpt_log.empty());
+  EXPECT_NE(base.r.faults.recovery.checkpoint_digest, 0u);
+
+  for (int budget : {2, 8}) {
+    const RunResult other = run_at_budget(budget);
+    const RecoveryReport& a = base.r.faults.recovery;
+    const RecoveryReport& b = other.r.faults.recovery;
+    EXPECT_EQ(a.failures, b.failures) << "budget " << budget;
+    EXPECT_EQ(a.crashes, b.crashes) << "budget " << budget;
+    EXPECT_EQ(a.hangs, b.hangs) << "budget " << budget;
+    EXPECT_EQ(a.respawns, b.respawns) << "budget " << budget;
+    EXPECT_EQ(a.checkpoints, b.checkpoints) << "budget " << budget;
+    EXPECT_EQ(a.restores, b.restores) << "budget " << budget;
+    EXPECT_DOUBLE_EQ(a.detection_us, b.detection_us) << "budget " << budget;
+    EXPECT_DOUBLE_EQ(a.checkpoint_us, b.checkpoint_us) << "budget " << budget;
+    EXPECT_DOUBLE_EQ(a.restore_us, b.restore_us) << "budget " << budget;
+    EXPECT_EQ(a.checkpoint_digest, b.checkpoint_digest) << "budget " << budget;
+    EXPECT_DOUBLE_EQ(base.r.simulated_time_us, other.r.simulated_time_us)
+        << "budget " << budget;
+    EXPECT_EQ(base.trace_json, other.trace_json)
+        << "exported trace must be bit-identical at budget " << budget;
+    EXPECT_EQ(base.ckpt_log, other.ckpt_log)
+        << "checkpoint event log must be bit-identical at budget " << budget;
+    for (std::int64_t i = 0; i < f.g.volume(); ++i)
+      ASSERT_EQ(norm2(base.x[i] - other.x[i]), 0.0) << "site " << i;
+  }
+  exec::set_thread_budget(0); // back to the environment default
+}
+
+// property sweep: for every (seed, checkpoint-interval) draw the recovered
+// solve converges and lands on the fault-free residual, and the recovery
+// outcome is invariant under the thread budget
+TEST(RankFailureProperty, RecoveredSolvesConvergeAcrossSeeds) {
+  RankFailureFixture f;
+
+  HostSpinorField x_clean(f.g);
+  const InvertResult clean = f.run_clean(x_clean);
+  ASSERT_TRUE(clean.stats.converged) << clean.stats.summary();
+
+  long total_crashes = 0;
+  for (const std::uint64_t seed : {11ull, 23ull, 4242ull}) {
+    for (const int interval : {1, 3}) {
+      InvertParams p = f.params;
+      p.checkpoint_interval = interval;
+      const sim::ClusterSpec spec = f.crashy_spec(seed, clean.simulated_time_us, 0.35);
+
+      exec::set_thread_budget(1);
+      HostSpinorField x1(f.g);
+      const InvertResult r1 = invert_multi_gpu(spec, f.u, f.b, x1, p);
+      ASSERT_TRUE(r1.stats.converged)
+          << "seed " << seed << " interval " << interval << ": " << r1.stats.summary();
+      EXPECT_NEAR(r1.stats.true_residual, clean.stats.true_residual, p.tol)
+          << "seed " << seed << " interval " << interval;
+      total_crashes += r1.faults.recovery.crashes;
+
+      exec::set_thread_budget(8);
+      HostSpinorField x8(f.g);
+      const InvertResult r8 = invert_multi_gpu(spec, f.u, f.b, x8, p);
+      EXPECT_EQ(r1.faults.recovery.crashes, r8.faults.recovery.crashes);
+      EXPECT_EQ(r1.faults.recovery.failures, r8.faults.recovery.failures);
+      EXPECT_EQ(r1.faults.recovery.checkpoint_digest, r8.faults.recovery.checkpoint_digest);
+      EXPECT_DOUBLE_EQ(r1.simulated_time_us, r8.simulated_time_us);
+      for (std::int64_t i = 0; i < f.g.volume(); ++i)
+        ASSERT_EQ(norm2(x1[i] - x8[i]), 0.0) << "site " << i;
+    }
+  }
+  exec::set_thread_budget(0);
+  EXPECT_GT(total_crashes, 0) << "the sweep must include real crash draws";
+}
+
+} // namespace
+} // namespace quda

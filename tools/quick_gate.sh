@@ -8,7 +8,11 @@
 #      acceptance test that exports a fig5-sized Chrome trace;
 #   4. trace-lint every file that acceptance run produced against
 #      tools/trace_schema.json;
-#   5. perf gate: run the quick fig5 sweep and diff its BENCH JSON against
+#   5. crash-recovery smoke: a seeded mid-solve rank crash must be detected,
+#      rolled back to the last committed checkpoint, and still converge; its
+#      exported trace must satisfy the recovery pairing rules
+#      (rank_failure -> rollback, checkpoint -> ckpt_commit/ckpt_abort);
+#   6. perf gate: run the quick fig5 sweep and diff its BENCH JSON against
 #      the stored baseline with tools/bench_diff.py.  The first run seeds
 #      the baseline ($BUILD/bench_baseline_fig5_strong.json); later runs
 #      fail on >10% regressions in time/gflops/critical-path metrics, and
@@ -36,6 +40,18 @@ if [ "${#traces[@]}" -eq 0 ]; then
   exit 1
 fi
 python3 tools/trace_lint.py "${traces[@]}"
+
+# crash-recovery smoke (the suite labels the full RankFailure matrix slow):
+# one mid-solve rank crash recovered end to end, plus its exported trace
+(cd "$BUILD/tests" && ./quda_tests \
+  --gtest_filter='RankFailure.CrashMidSolveRecoversViaCheckpointRestart:RankFailure.RecoveryIsAttributedOnTheCriticalPath' \
+  > /dev/null)
+rf_traces=("$BUILD"/tests/trace_rank_failure.json*)
+if [ "${#rf_traces[@]}" -eq 0 ]; then
+  echo "quick_gate: the crash-recovery smoke produced no trace export" >&2
+  exit 1
+fi
+python3 tools/trace_lint.py "${rf_traces[@]}"
 
 # perf-regression gate on the quick fig5 sweep
 baseline="$BUILD/bench_baseline_fig5_strong.json"

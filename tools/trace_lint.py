@@ -19,7 +19,11 @@ test suite relies on:
     semantically sound: dep_rank stays inside [-1, otherData.ranks);
     every mpi_wait span in a multi-rank trace names its sender, every
     allreduce span names its gate rank, and kernel/copy spans carry a
-    non-negative issue anchor (dep_ts) and edge weight.
+    non-negative issue anchor (dep_ts) and edge weight;
+  * the rank-failure recovery contracts (DESIGN.md section 10) hold: on
+    each rank every 'rank_failure' instant is answered by a 'rollback'
+    span, and every two-phase 'checkpoint' span is closed by a
+    'ckpt_commit' span or a 'ckpt_abort' instant for the same iteration.
 
 Usage: trace_lint.py [--schema tools/trace_schema.json] TRACE.json [...]
 Exit status 0 when every file is clean, 1 otherwise.
@@ -105,6 +109,57 @@ def check_dep_fields(ev, ranks, where, errors):
             errors.append(f"{where}: {name} span has negative edge weight {edge}")
 
 
+def check_recovery(events, errors):
+    """Structural checks on the rank-failure recovery events the checkpoint/
+    restart layer records (cat 'fault').  Per rank: a 'rank_failure' instant
+    marks a survivor detecting a dead peer and must be answered by a
+    'rollback' span (a rollback with no detection, or a detection never
+    rolled back, means the recovery driver lost an epoch); a 'checkpoint'
+    span opens a two-phase commit for its iteration (args.seq) and must be
+    closed by a 'ckpt_commit' span or a 'ckpt_abort' instant for the same
+    iteration before the next one opens."""
+    per_pid = {}
+    for i, ev in enumerate(events):
+        if isinstance(ev, dict) and ev.get("cat") == "fault" and ev.get("ph") in ("X", "i"):
+            per_pid.setdefault(ev.get("pid"), []).append((i, ev))
+    for pid, evs in sorted(per_pid.items(), key=lambda kv: str(kv[0])):
+        pending_failures = []  # rank_failure instants awaiting their rollback
+        open_ckpt = None       # (index, iteration) of the in-flight two-phase commit
+        for i, ev in evs:
+            name, ph = ev.get("name"), ev.get("ph")
+            seq = ev.get("args", {}).get("seq") if isinstance(ev.get("args"), dict) else None
+            where = f"$.traceEvents[{i}]"
+            if ph == "i" and name == "rank_failure":
+                pending_failures.append(i)
+            elif ph == "X" and name == "rollback":
+                if not pending_failures:
+                    errors.append(f"{where}: rollback span on pid {pid} without a "
+                                  "preceding rank_failure instant")
+                else:
+                    pending_failures.pop()
+            elif ph == "X" and name == "checkpoint":
+                if open_ckpt is not None:
+                    errors.append(f"{where}: checkpoint span opens while iteration "
+                                  f"{open_ckpt[1]} is still uncommitted on pid {pid}")
+                open_ckpt = (i, seq)
+            elif name in ("ckpt_commit", "ckpt_abort"):
+                if open_ckpt is None:
+                    errors.append(f"{where}: {name} on pid {pid} without an open "
+                                  "checkpoint span")
+                elif open_ckpt[1] != seq:
+                    errors.append(f"{where}: {name} closes iteration {seq} but the open "
+                                  f"checkpoint span is for iteration {open_ckpt[1]}")
+                    open_ckpt = None
+                else:
+                    open_ckpt = None
+        for i in pending_failures:
+            errors.append(f"$.traceEvents[{i}]: rank_failure instant on pid {pid} is "
+                          "never answered by a rollback span")
+        if open_ckpt is not None:
+            errors.append(f"$.traceEvents[{open_ckpt[0]}]: checkpoint span for iteration "
+                          f"{open_ckpt[1]} on pid {pid} has no ckpt_commit/ckpt_abort")
+
+
 def lint_file(trace_path, schema):
     errors = []
     with open(trace_path, "r", encoding="utf-8") as f:
@@ -145,6 +200,8 @@ def lint_file(trace_path, schema):
             data_events += 1
             used_tracks.add((ev.get("pid"), ev.get("tid")))
             check_dep_fields(ev, ranks, where, errors)
+
+    check_recovery(events, errors)
 
     declared = doc.get("otherData", {}).get("events")
     if declared != data_events:
