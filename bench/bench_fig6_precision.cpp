@@ -31,10 +31,32 @@ int main() {
     for (int n : gpus) results[s].push_back(run_point(n, global, series[s]));
   print_scaling_table("V = 24^3 x 128 sites", gpus, series, results);
 
+  // link-reconstruction sweep on the single and single-half modes: 8-real
+  // storage cuts the dslash gauge traffic by a third vs the 12-real anchor
+  // (over half vs 18-real), which the bandwidth-bound model converts
+  // directly into effective Gflops
+  const std::vector<SolverSeries> recon_series = {
+      {"single-r18", Precision::Single, std::nullopt, CommPolicy::NoOverlap, true,
+       Reconstruct::Eighteen, std::nullopt},
+      {"single-r12", Precision::Single, std::nullopt, CommPolicy::NoOverlap, true,
+       Reconstruct::Twelve, std::nullopt},
+      {"single-r8", Precision::Single, std::nullopt, CommPolicy::NoOverlap, true,
+       Reconstruct::Eight, std::nullopt},
+      {"single-half-r8", Precision::Single, Precision::Half, CommPolicy::NoOverlap, true,
+       Reconstruct::Eight, Reconstruct::Eight},
+  };
+  std::vector<std::vector<parallel::ModeledSolverResult>> recon_results(recon_series.size());
+  for (std::size_t s = 0; s < recon_series.size(); ++s)
+    for (int n : gpus) recon_results[s].push_back(run_point(n, global, recon_series[s]));
+  print_scaling_table("V = 24^3 x 128 sites, link reconstruction", gpus, recon_series,
+                      recon_results);
+
   BenchJson json("fig6_precision");
   json.config("scaling", "strong");
   json.config("policy", "no_overlap");
   record_scaling_points(json, "V = 24^3 x 128 sites", gpus, series, results);
+  record_scaling_points(json, "V = 24^3 x 128 sites, link reconstruction", gpus, recon_series,
+                        recon_results);
   json.write();
 
   // strong-scaling efficiency relative to the smallest fitting partition

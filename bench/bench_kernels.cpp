@@ -54,10 +54,15 @@ BENCHMARK(BM_Dslash<PrecSingle>)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Dslash<PrecHalf>)->Unit(benchmark::kMillisecond);
 
 template <typename P> void BM_DslashCompressed(benchmark::State& state) {
-  // 12-real reconstruction vs the 18-real load in BM_DslashFull
+  // link reconstruction sweep: 8-, 12-, and 18-real gauge storage (the Arg
+  // is the stored reals per link); host wall-clock trades reconstruction
+  // ALU against gauge memory footprint here, while the device model moves
+  // its bandwidth charge via perf::matrix_bytes_per_site(p, recon)
   const auto& d = data();
-  const GaugeField<P> gauge = upload_gauge<P>(
-      d.u, state.range(0) == 12 ? Reconstruct::Twelve : Reconstruct::Eighteen);
+  const Reconstruct recon = state.range(0) == 8    ? Reconstruct::Eight
+                            : state.range(0) == 12 ? Reconstruct::Twelve
+                                                   : Reconstruct::Eighteen;
+  const GaugeField<P> gauge = upload_gauge<P>(d.u, recon);
   const SpinorField<P> in = upload_spinor<P>(d.in, Parity::Odd);
   SpinorField<P> out(d.g);
   DslashOptions opt;
@@ -65,8 +70,26 @@ template <typename P> void BM_DslashCompressed(benchmark::State& state) {
     dslash<P>(out, gauge, in, d.g, opt, 0, d.g.half_volume(), 1, Accumulate::No);
     benchmark::DoNotOptimize(out.raw_data().data());
   }
+  state.counters["gauge_mb"] =
+      static_cast<double>(gauge.device_bytes()) / (1024.0 * 1024.0);
 }
-BENCHMARK(BM_DslashCompressed<PrecSingle>)->Arg(12)->Arg(18)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DslashCompressed<PrecSingle>)->Arg(8)->Arg(12)->Arg(18)->Unit(benchmark::kMillisecond);
+
+template <typename PDst, typename PSrc> void BM_ConvertField(benchmark::State& state) {
+  // the mixed-precision solver's per-reliable-update conversion; single <->
+  // half takes the contiguous block-span fast path in convert_field
+  const auto& d = data();
+  const SpinorField<PSrc> src = upload_spinor<PSrc>(d.in, Parity::Even);
+  SpinorField<PDst> dst(d.g);
+  for (auto _ : state) {
+    convert_field(src, dst);
+    benchmark::DoNotOptimize(dst.raw_data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * d.g.half_volume());
+}
+BENCHMARK(BM_ConvertField<PrecHalf, PrecSingle>)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ConvertField<PrecSingle, PrecHalf>)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ConvertField<PrecSingle, PrecDouble>)->Unit(benchmark::kMicrosecond);
 
 template <typename P> void BM_CloverApply(benchmark::State& state) {
   const auto& d = data();

@@ -89,6 +89,9 @@ struct SolverSeries {
   std::optional<Precision> sloppy;
   CommPolicy policy;
   bool good_numa = true;
+  // gauge link storage (unset = the pre-knob 12-real-anchored model)
+  std::optional<Reconstruct> recon{};
+  std::optional<Reconstruct> recon_sloppy{};
 };
 
 // run one modeled-solver data point: global volume split over `ranks` GPUs
@@ -110,6 +113,8 @@ inline parallel::ModeledSolverResult run_point(int ranks, LatticeDims global,
   cfg.sloppy = series.sloppy;
   cfg.policy = series.policy;
   cfg.iterations = iterations;
+  cfg.reconstruct = series.recon;
+  cfg.reconstruct_sloppy = series.recon_sloppy;
   return parallel::run_modeled_solver(cluster, cfg);
 }
 
@@ -128,6 +133,8 @@ inline parallel::ModeledSolverResult run_weak_point(int ranks, LatticeDims local
   cfg.sloppy = series.sloppy;
   cfg.policy = series.policy;
   cfg.iterations = iterations;
+  cfg.reconstruct = series.recon;
+  cfg.reconstruct_sloppy = series.recon_sloppy;
   return parallel::run_modeled_solver(cluster, cfg);
 }
 
@@ -199,7 +206,16 @@ inline void record_scaling_points(BenchJson& json, const char* table,
       json.field("table", table);
       json.field("series", series[s].label);
       json.field("gpus", static_cast<double>(gpu_counts[p]));
+      // link reconstruction joins the point identity (string fields are part
+      // of the bench_diff key); legacy series omit it, keeping their
+      // baseline keys byte-stable
+      if (series[s].recon) json.field("recon", to_string(*series[s].recon));
+      if (series[s].recon_sloppy) json.field("recon_sloppy", to_string(*series[s].recon_sloppy));
       json.field("fits", static_cast<double>(r.fits));
+      // footprints are numeric (not part of the bench_diff join key), so
+      // recon-knob changes show up as value deltas on stable points
+      json.field("footprint_bytes", static_cast<double>(r.footprint_bytes));
+      json.field("gauge_footprint_bytes", static_cast<double>(r.gauge_footprint_bytes));
       if (r.fits) {
         json.field("gflops", r.effective_gflops);
         json.field("time_us", r.time_us);

@@ -17,10 +17,17 @@
 int main(int argc, char** argv) {
   using namespace quda;
 
+  // usage: propagator [ranks] [recon]  -- recon in {8, 12, 18} picks the
+  // gauge-link storage (reals per link) for both solver levels
   const int ranks = argc > 1 ? std::atoi(argv[1]) : 2;
+  const int recon_reals = argc > 2 ? std::atoi(argv[2]) : 12;
+  const Reconstruct recon = recon_reals == 8    ? Reconstruct::Eight
+                            : recon_reals == 18 ? Reconstruct::Eighteen
+                                                : Reconstruct::Twelve;
   const Geometry geom({8, 8, 8, 16});
-  std::printf("propagator: %s lattice on %d simulated GPUs, mixed single-half BiCGstab\n",
-              geom.dims().to_string().c_str(), ranks);
+  std::printf("propagator: %s lattice on %d simulated GPUs, mixed single-half BiCGstab, "
+              "%d-real links\n",
+              geom.dims().to_string().c_str(), ranks, reals_per_link(recon));
 
   HostGaugeField gauge(geom);
   make_weak_field_gauge(gauge, 0.2, 777);
@@ -37,6 +44,8 @@ int main(int argc, char** argv) {
   params.delta = 1e-1;
   params.max_iter = 4000;
   params.time_bc = TimeBoundary::Antiperiodic;
+  params.reconstruct = recon;
+  params.reconstruct_sloppy = recon; // compress both solver levels alike
 
   const sim::ClusterSpec cluster = sim::ClusterSpec::jlab_9g(ranks);
   std::vector<HostSpinorField> propagator;
@@ -67,6 +76,26 @@ int main(int argc, char** argv) {
   std::printf("    time      : %.2f ms\n", total_time_us / 6.0 / 1e3);
   std::printf("    sustained : %.1f effective Gflops\n", total_gflops / 6.0);
   std::printf("    iterations: %.1f\n", total_iters / 6.0);
+
+  // gauge storage of the chosen reconstruction vs full 18-real links: the
+  // memory the compression buys back on each device
+  {
+    HostSpinorField b(geom), x(geom);
+    make_point_source(b, {0, 0, 0, 0}, 0, 0);
+    // allocation probes: one iteration each, convergence is irrelevant
+    InvertParams probe = params;
+    probe.max_iter = 1;
+    const std::int64_t recon_bytes = invert_multi_gpu(cluster, gauge, b, x, probe)
+                                         .gauge_device_bytes;
+    probe.reconstruct = Reconstruct::Eighteen;
+    probe.reconstruct_sloppy = Reconstruct::Eighteen;
+    const std::int64_t full_bytes = invert_multi_gpu(cluster, gauge, b, x, probe)
+                                        .gauge_device_bytes;
+    std::printf("    gauge mem : %.2f MB/rank at %d reals (%.1f%% saved vs 18-real's %.2f MB)\n",
+                recon_bytes / 1048576.0, reals_per_link(recon),
+                100.0 * (1.0 - double(recon_bytes) / double(full_bytes)),
+                full_bytes / 1048576.0);
+  }
 
   // a crude observable from the propagator columns: the pion correlator
   // C(t) = sum_x |S(x, t)|^2, summed over the computed columns

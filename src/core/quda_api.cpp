@@ -76,6 +76,7 @@ struct RankOutcome {
   HostSpinorField x_local;
   double effective_flops = 0;
   std::int64_t bytes_peak = 0;
+  std::int64_t gauge_bytes = 0;
   double setup_done_us = 0;
   double solve_done_us = 0;
   // checkpoint/restart outcome (DESIGN.md §10)
@@ -255,6 +256,7 @@ RankOutcome rank_solve(RankContext& ctx, const GridTopology& topo, const Geometr
   op_params.time_bc = p.time_bc;
 
   RankFields<POuter> hi(grid, lg, lu, lt, ltinv, p.reconstruct);
+  out.gauge_bytes = hi.gauge.device_bytes();
   ParallelWilsonCloverOp<POuter> op_hi(grid, lg, hi.gauge, hi.clover, hi.clover_inv, op_params,
                                        p.overlap);
 
@@ -287,7 +289,8 @@ RankOutcome rank_solve(RankContext& ctx, const GridTopology& topo, const Geometr
     out.effective_flops = op_hi.effective_flops();
   } else {
     using PS = PSloppy;
-    RankFields<PS> lo(grid, lg, lu, lt, ltinv, Reconstruct::Twelve);
+    RankFields<PS> lo(grid, lg, lu, lt, ltinv, p.reconstruct_sloppy.value_or(p.reconstruct));
+    out.gauge_bytes += lo.gauge.device_bytes();
     ParallelWilsonCloverOp<PS> op_lo(grid, lg, lo.gauge, lo.clover, lo.clover_inv, op_params,
                                      p.overlap);
     charge_solver_vectors<PS>(grid, lg, 7); // sloppy r, r0, p, v, s, t, x
@@ -322,6 +325,10 @@ void validate(const InvertParams& p) {
     throw std::invalid_argument("half precision is a sloppy precision, not an outer one");
   if (p.sloppy && bytes_per_real(*p.sloppy) > bytes_per_real(p.precision))
     throw std::invalid_argument("sloppy precision must not exceed the outer precision");
+  if (p.reconstruct_sloppy &&
+      reals_per_link(*p.reconstruct_sloppy) > reals_per_link(p.reconstruct))
+    throw std::invalid_argument(
+        "sloppy reconstruct must not store more reals than the outer reconstruct");
 }
 
 } // namespace
@@ -394,6 +401,7 @@ InvertResult invert_multi_gpu(const sim::ClusterSpec& cluster_spec, const HostGa
   for (const auto& o : outcomes) {
     total_flops += o.effective_flops;
     result.device_bytes_peak = std::max(result.device_bytes_peak, o.bytes_peak);
+    result.gauge_device_bytes = std::max(result.gauge_device_bytes, o.gauge_bytes);
   }
   result.simulated_time_us = outcomes[0].solve_done_us - outcomes[0].setup_done_us;
   result.effective_gflops =

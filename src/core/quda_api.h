@@ -58,7 +58,13 @@ struct InvertParams {
 
   // multi-GPU controls
   CommPolicy overlap = CommPolicy::Overlap;
+  // gauge link storage per solver level: `reconstruct` for the outer fields,
+  // `reconstruct_sloppy` for the sloppy/inner fields of a mixed solve
+  // (default = same as outer).  The sloppy level may compress harder than
+  // the outer one (e.g. Twelve outer / Eight sloppy) but never store more
+  // reals -- mirroring the precision rule.
   Reconstruct reconstruct = Reconstruct::Twelve;
+  std::optional<Reconstruct> reconstruct_sloppy{};
   // rank grid over (x, y, z, t).  All ones = the paper's 1-D slicing of the
   // time dimension sized to the cluster; anything else selects the
   // multi-dimensional decomposition (the paper's future work) and must
@@ -131,6 +137,9 @@ struct InvertResult {
   double simulated_time_us = 0;    // cluster makespan of the solve
   double effective_gflops = 0;     // aggregate sustained effective Gflops
   std::int64_t device_bytes_peak = 0; // max device memory used by any rank
+  // per-rank gauge storage actually allocated (outer + sloppy fields at
+  // their respective Reconstruct) -- the footprint the recon knobs shrink
+  std::int64_t gauge_device_bytes = 0;
   FaultReport faults;              // fault injection / recovery accounting
   bool traced = false;             // tracing was on; `trace_metrics` is meaningful
   trace::Metrics trace_metrics{};  // aggregated trace metrics of the solve

@@ -213,7 +213,8 @@ void pack_gauge_face(const GaugeField<P>& gauge, const Geometry& g, int mu, int 
   using real_t = typename P::real_t;
   using store_t = typename P::store_t;
   const std::int64_t nf = g.face_sites(mu);
-  buf.resize(nf);
+  const int wire = gauge_wire_reals(gauge.reconstruct());
+  buf.resize(nf, wire);
 
   for (int par = 0; par < 2; ++par) {
     const Parity parity = par == 0 ? Parity::Even : Parity::Odd;
@@ -221,7 +222,19 @@ void pack_gauge_face(const GaugeField<P>& gauge, const Geometry& g, int mu, int 
     for (std::int64_t fs = lo; fs < hi; ++fs) {
       const Coords c = g.face_site_coords(mu, parity, slice, fs);
       const SU3<real_t> u = gauge.load(mu, parity, g.cb_index(c));
-      std::size_t k = static_cast<std::size_t>((par * nf + fs) * 18);
+      std::size_t k = static_cast<std::size_t>((par * nf + fs) * wire);
+      if (wire == 8) {
+        // ship the stored parameterization itself; the phases use the same
+        // fixed-point scaling rule as device storage in half precision
+        const SU3Packed8<real_t> p = pack_eight(u);
+        for (std::size_t j = 0; j < 8; ++j) {
+          if constexpr (P::value == Precision::Half)
+            buf.data[k++] = to_half(j < 2 ? phase_to_unit(p.v[j]) : p.v[j]);
+          else
+            buf.data[k++] = static_cast<store_t>(p.v[j]);
+        }
+        continue;
+      }
       for (std::size_t r = 0; r < 3; ++r)
         for (std::size_t col = 0; col < 3; ++col) {
           if constexpr (P::value == Precision::Half) {
@@ -241,27 +254,42 @@ template <typename P>
 void unpack_gauge_ghost(GaugeField<P>& gauge, const Geometry& g, int mu,
                         const GaugeFaceBuffer<P>& buf) {
   const std::int64_t nf = g.face_sites(mu);
-  assert(std::int64_t(buf.data.size()) == nf * 2 * 18);
+  const int wire = gauge_wire_reals(gauge.reconstruct());
+  assert(buf.nint == wire);
+  assert(std::int64_t(buf.data.size()) == nf * 2 * wire);
 
   for (int par = 0; par < 2; ++par) {
     const Parity parity = par == 0 ? Parity::Even : Parity::Odd;
     exec::parallel_for(0, nf, exec::kFaceGrain, [&](std::int64_t lo, std::int64_t hi) {
     for (std::int64_t fs = lo; fs < hi; ++fs) {
+      std::size_t k = static_cast<std::size_t>((par * nf + fs) * wire);
       SU3<double> u;
-      std::size_t k = static_cast<std::size_t>((par * nf + fs) * 18);
-      for (std::size_t r = 0; r < 3; ++r)
-        for (std::size_t col = 0; col < 3; ++col) {
-          double re, im;
+      if (wire == 8) {
+        SU3Packed8<double> p;
+        for (std::size_t j = 0; j < 8; ++j) {
           if constexpr (P::value == Precision::Half) {
-            re = from_half(buf.data[k]);
-            im = from_half(buf.data[k + 1]);
+            const float v = from_half(buf.data[k++]);
+            p.v[j] = static_cast<double>(j < 2 ? unit_to_phase(v) : v);
           } else {
-            re = static_cast<double>(buf.data[k]);
-            im = static_cast<double>(buf.data[k + 1]);
+            p.v[j] = static_cast<double>(buf.data[k++]);
           }
-          u.e[r][col] = complexd(re, im);
-          k += 2;
         }
+        u = unpack_eight(p);
+      } else {
+        for (std::size_t r = 0; r < 3; ++r)
+          for (std::size_t col = 0; col < 3; ++col) {
+            double re, im;
+            if constexpr (P::value == Precision::Half) {
+              re = from_half(buf.data[k]);
+              im = from_half(buf.data[k + 1]);
+            } else {
+              re = static_cast<double>(buf.data[k]);
+              im = static_cast<double>(buf.data[k + 1]);
+            }
+            u.e[r][col] = complexd(re, im);
+            k += 2;
+          }
+      }
       gauge.store_ghost(mu, parity, fs, u);
     }
     });

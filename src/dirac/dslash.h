@@ -121,15 +121,23 @@ void unpack_ghost(SpinorField<P>& field, const Geometry& g, GhostFace face,
   unpack_ghost(field, g, 3, face, buf);
 }
 
+// wire format of the gauge ghost exchange: recon-8 links travel in their
+// stored 8-real parameterization; 12- and 18-real fields ship full SU(3)
+// rows (the receiver re-compresses into its own storage)
+inline constexpr int gauge_wire_reals(Reconstruct r) {
+  return r == Reconstruct::Eight ? 8 : 18;
+}
+
 // copy the sender-side gauge ghost for a cut in dimension mu: the U_mu
-// links on this rank's last slice, packed as full SU(3) rows in storage
-// precision
+// links on this rank's last slice, packed per link in storage precision
 template <typename P> struct GaugeFaceBuffer {
   using store_t = typename P::store_t;
-  std::vector<store_t> data; // face_sites * 2 parities * 18 reals
+  std::vector<store_t> data; // face_sites * 2 parities * nint reals
+  int nint = 18;             // wire reals per link (gauge_wire_reals)
 
-  void resize(std::int64_t face_sites) {
-    data.assign(static_cast<std::size_t>(face_sites * 2 * 18), store_t{});
+  void resize(std::int64_t face_sites, int wire_reals = 18) {
+    nint = wire_reals;
+    data.assign(static_cast<std::size_t>(face_sites * 2 * wire_reals), store_t{});
   }
   std::int64_t bytes() const { return std::int64_t(data.size()) * sizeof(store_t); }
 };

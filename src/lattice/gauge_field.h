@@ -3,8 +3,10 @@
 //
 // Storage is per direction mu and per parity; each (mu, parity) slab is a
 // BlockLayout over the half-volume, padded by one face perpendicular to mu.
-// Links are stored either 2-row compressed (12 reals, Section V-C1) or full
-// (18 reals).
+// Links are stored full (18 reals), 2-row compressed (12 reals, Section
+// V-C1), or in the minimal 8-real parameterization (Clark et al.,
+// arXiv:0911.3191) -- the knob that trades reconstruction arithmetic for
+// gauge memory traffic on the bandwidth-bound dslash.
 //
 // Gauge ghost zone (Section VI-B): for a decomposition that cuts dimension
 // mu, the link matrices that must be fetched from the backward neighbor are
@@ -26,9 +28,22 @@
 namespace quda {
 
 enum class Reconstruct : int {
+  Eight = 8,     // phase + second-row parameterization, fully rebuilt in registers
   Twelve = 12,   // 2-row compressed, third row rebuilt in registers
   Eighteen = 18, // full matrix
 };
+
+// stored reals per link = the enum value
+inline constexpr int reals_per_link(Reconstruct r) { return static_cast<int>(r); }
+
+inline const char* to_string(Reconstruct r) {
+  switch (r) {
+    case Reconstruct::Eight: return "8";
+    case Reconstruct::Twelve: return "12";
+    case Reconstruct::Eighteen: return "18";
+  }
+  return "?";
+}
 
 template <typename P> class GaugeField {
 public:
@@ -119,11 +134,26 @@ private:
   // matching l.index(x, n) without per-component integer division
   SU3<real_t> load_at(int mu, std::int64_t base, std::int64_t x) const {
     const BlockLayout& l = layouts_[static_cast<std::size_t>(mu)];
-    const int rows = (recon_ == Reconstruct::Twelve) ? 2 : 3;
     const int nvec = l.nvec;
     const std::int64_t bstep = std::int64_t(nvec) * l.stride();
     std::int64_t idx = base + std::int64_t(nvec) * x;
     int w = 0;
+    if (recon_ == Reconstruct::Eight) {
+      SU3Packed8<real_t> p;
+      for (int k = 0; k < 8; ++k) {
+        real_t v = raw(idx + w);
+        if constexpr (P::value == Precision::Half)
+          if (k < 2) v = unit_to_phase(v); // phases are stored as theta/pi
+        p.v[static_cast<std::size_t>(k)] = v;
+        ++w;
+        if (w == nvec) {
+          w = 0;
+          idx += bstep;
+        }
+      }
+      return unpack_eight(p);
+    }
+    const int rows = (recon_ == Reconstruct::Twelve) ? 2 : 3;
     SU3<real_t> u;
     for (int r = 0; r < rows; ++r)
       for (int c = 0; c < 3; ++c) {
@@ -140,11 +170,26 @@ private:
 
   void store_at(int mu, std::int64_t base, std::int64_t x, const SU3<double>& u) {
     const BlockLayout& l = layouts_[static_cast<std::size_t>(mu)];
-    const int rows = (recon_ == Reconstruct::Twelve) ? 2 : 3;
     const int nvec = l.nvec;
     const std::int64_t bstep = std::int64_t(nvec) * l.stride();
     std::int64_t idx = base + std::int64_t(nvec) * x;
     int w = 0;
+    if (recon_ == Reconstruct::Eight) {
+      const SU3Packed8<double> p = pack_eight(u);
+      for (int k = 0; k < 8; ++k) {
+        real_t v = static_cast<real_t>(p.v[static_cast<std::size_t>(k)]);
+        if constexpr (P::value == Precision::Half)
+          if (k < 2) v = phase_to_unit(v); // keep the fixed-point range
+        set_raw(idx + w, v);
+        ++w;
+        if (w == nvec) {
+          w = 0;
+          idx += bstep;
+        }
+      }
+      return;
+    }
+    const int rows = (recon_ == Reconstruct::Twelve) ? 2 : 3;
     for (int r = 0; r < rows; ++r)
       for (int c = 0; c < 3; ++c) {
         set_raw(idx + w, static_cast<real_t>(u.e[r][c].re));

@@ -97,7 +97,7 @@ void halo_dslash(comm::QmpGrid& grid, const Geometry& local, const HaloDslashCon
 
   // ---- no cut dimensions: plain local kernel with periodic wrap -------------
   if (cuts.empty()) {
-    auto cost = perf::dslash_kernel_cost(prec, vh);
+    auto cost = perf::dslash_kernel_cost(prec, vh, cfg.reconstruct);
     cost.name = "dslash_local";
     dev.launch_kernel(clk, kInteriorStream, cost, cfg.launch, prec == Precision::Double);
     if (real)
@@ -169,7 +169,7 @@ void halo_dslash(comm::QmpGrid& grid, const Geometry& local, const HaloDslashCon
                 halo_bytes_total);
 
     // one kernel over the entire local volume
-    auto cost = perf::dslash_kernel_cost(prec, vh);
+    auto cost = perf::dslash_kernel_cost(prec, vh, cfg.reconstruct);
     cost.name = "dslash_local";
     clk = dev.launch_kernel(clk, kInteriorStream, cost, cfg.launch, prec == Precision::Double);
     if (real)
@@ -184,7 +184,7 @@ void halo_dslash(comm::QmpGrid& grid, const Geometry& local, const HaloDslashCon
 
   const std::int64_t n_interior = interior_sites(local, mask);
   if (n_interior > 0) {
-    auto cost = perf::dslash_kernel_cost(prec, n_interior);
+    auto cost = perf::dslash_kernel_cost(prec, n_interior, cfg.reconstruct);
     cost.name = "dslash_interior";
     clk = dev.launch_kernel(clk, kInteriorStream, cost, cfg.launch, prec == Precision::Double);
     if (real)
@@ -240,7 +240,7 @@ void halo_dslash(comm::QmpGrid& grid, const Geometry& local, const HaloDslashCon
   // ghost uploads, then updates every site on a cut edge
   dev.stream_wait_stream(kInteriorStream, kBackwardFaceStream);
   dev.stream_wait_stream(kInteriorStream, kForwardFaceStream);
-  auto boundary_cost = perf::dslash_kernel_cost(prec, vh - n_interior);
+  auto boundary_cost = perf::dslash_kernel_cost(prec, vh - n_interior, cfg.reconstruct);
   boundary_cost.name = "dslash_boundary";
   clk = dev.launch_kernel(clk, kInteriorStream, boundary_cost, cfg.launch,
                           prec == Precision::Double);
@@ -253,11 +253,15 @@ void halo_dslash(comm::QmpGrid& grid, const Geometry& local, const HaloDslashCon
 
 template <typename P>
 void exchange_gauge_ghost(comm::QmpGrid& grid, const Geometry& local, GaugeField<P>* gauge,
-                          Execution exec) {
+                          Execution exec, Reconstruct recon) {
   if (!grid.is_parallel()) return;
   const bool real = exec == Execution::Real;
   if (real && gauge == nullptr)
     throw std::invalid_argument("Real execution requires a gauge field");
+  // the field itself is authoritative when present; `recon` parameterizes
+  // the Modeled byte charge
+  if (real) recon = gauge->reconstruct();
+  const int wire = gauge_wire_reals(recon);
 
   auto& ctx = grid.context();
   auto& dev = ctx.device();
@@ -267,7 +271,7 @@ void exchange_gauge_ghost(comm::QmpGrid& grid, const Geometry& local, GaugeField
   for (int mu = 0; mu < 4; ++mu) {
     if (!grid.partitioned(mu)) continue;
     const std::int64_t fs = local.face_sites(mu);
-    const std::int64_t bytes = fs * 2 * 18 * bytes_per_real(P::value);
+    const std::int64_t bytes = fs * 2 * wire * bytes_per_real(P::value);
 
     GaugeFaceBuffer<P> out_buf;
     if (real) pack_gauge_face(*gauge, local, mu, local.dims()[mu] - 1, out_buf);
@@ -289,7 +293,7 @@ void exchange_gauge_ghost(comm::QmpGrid& grid, const Geometry& local, GaugeField
     clk = dev.memcpy_sync(clk, bytes, gpusim::CopyDir::HostToDevice);
     if (real) {
       GaugeFaceBuffer<P> in_buf;
-      in_buf.resize(fs);
+      in_buf.resize(fs, wire);
       if (in_payload.size() != in_buf.data.size() * sizeof(typename P::store_t))
         throw std::runtime_error("gauge ghost payload size mismatch");
       std::memcpy(in_buf.data.data(), in_payload.data(), in_payload.size());
@@ -303,7 +307,7 @@ void exchange_gauge_ghost(comm::QmpGrid& grid, const Geometry& local, GaugeField
   template void halo_dslash<P>(comm::QmpGrid&, const Geometry&, const HaloDslashConfig&,          \
                                HaloFields<P>);                                                    \
   template void exchange_gauge_ghost<P>(comm::QmpGrid&, const Geometry&, GaugeField<P>*,          \
-                                        Execution);
+                                        Execution, Reconstruct);
 
 QUDA_INSTANTIATE_HALO(PrecDouble)
 QUDA_INSTANTIATE_HALO(PrecSingle)

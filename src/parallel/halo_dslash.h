@@ -48,6 +48,9 @@ struct HaloDslashConfig {
   double scale = 1.0;
   Accumulate accumulate = Accumulate::No;
   TimeBoundary time_bc = TimeBoundary::Periodic;
+  // gauge storage format of the field this dslash streams: sets the modeled
+  // gauge bytes per site (Real callers mirror gauge->reconstruct() here)
+  Reconstruct reconstruct = Reconstruct::Twelve;
   gpusim::LaunchConfig launch{256, 0}; // dslash launch geometry (auto-tunable)
 };
 
@@ -67,10 +70,13 @@ void halo_dslash(comm::QmpGrid& grid, const Geometry& local, const HaloDslashCon
 
 // one-time gauge ghost exchange at setup (Section VI-B): for each cut
 // dimension mu, each rank sends the U_mu links of its last perpendicular
-// slice forward; the receiver stores them in the pad of its mu slab
+// slice forward; the receiver stores them in the pad of its mu slab.  The
+// wire carries gauge_wire_reals(recon) reals per link; in Modeled mode
+// (null gauge) `recon` alone sets the modeled bytes, in Real mode it must
+// match gauge->reconstruct().
 template <typename P>
 void exchange_gauge_ghost(comm::QmpGrid& grid, const Geometry& local, GaugeField<P>* gauge,
-                          Execution exec);
+                          Execution exec, Reconstruct recon = Reconstruct::Twelve);
 
 // single-parity interior site count for a partition mask (the work the
 // overlapped interior kernel covers)

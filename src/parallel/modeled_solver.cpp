@@ -6,14 +6,15 @@ namespace quda::parallel {
 
 namespace {
 
-// dispatch a modeled halo dslash at a runtime precision
-void modeled_halo(comm::QmpGrid& grid, const Geometry& local, Precision prec, CommPolicy policy,
-                  TimeBoundary bc, Parity parity) {
+// dispatch a modeled halo dslash at a runtime precision and link storage
+void modeled_halo(comm::QmpGrid& grid, const Geometry& local, Precision prec, Reconstruct recon,
+                  CommPolicy policy, TimeBoundary bc, Parity parity) {
   HaloDslashConfig cfg;
   cfg.policy = policy;
   cfg.exec = Execution::Modeled;
   cfg.out_parity = parity;
   cfg.time_bc = bc;
+  cfg.reconstruct = recon;
   switch (prec) {
     case Precision::Double:
       halo_dslash<PrecDouble>(grid, local, cfg, {});
@@ -28,10 +29,10 @@ void modeled_halo(comm::QmpGrid& grid, const Geometry& local, Precision prec, Co
 }
 
 // one even-odd matrix application: two halo dslashes (clover fused)
-void modeled_matrix(comm::QmpGrid& grid, const Geometry& local, Precision prec,
+void modeled_matrix(comm::QmpGrid& grid, const Geometry& local, Precision prec, Reconstruct recon,
                     CommPolicy policy, TimeBoundary bc) {
-  modeled_halo(grid, local, prec, policy, bc, Parity::Odd);
-  modeled_halo(grid, local, prec, policy, bc, Parity::Even);
+  modeled_halo(grid, local, prec, recon, policy, bc, Parity::Odd);
+  modeled_halo(grid, local, prec, recon, policy, bc, Parity::Even);
 }
 
 // one fused BLAS kernel + counters
@@ -56,8 +57,10 @@ ModeledSolverResult run_modeled_solver(sim::VirtualCluster& cluster,
 
   // --- memory gate -------------------------------------------------------------
   const perf::SolverFootprint fp =
-      perf::solver_footprint(config.local, config.outer, config.sloppy);
+      perf::solver_footprint(config.local, config.outer, config.sloppy, config.reconstruct,
+                             config.reconstruct_sloppy);
   result.footprint_bytes = fp.total();
+  result.gauge_footprint_bytes = fp.gauge_bytes;
   gpusim::Device probe(cluster.spec().device, cluster.spec().bus);
   if (!probe.fits(fp.total())) {
     result.fits = false;
@@ -68,6 +71,10 @@ ModeledSolverResult run_modeled_solver(sim::VirtualCluster& cluster,
   const std::int64_t vh = local.half_volume();
   const Precision sloppy = config.sloppy.value_or(config.outer);
   const bool mixed = sloppy != config.outer;
+  // kernel/wire charges: unset knobs keep the pre-knob 12-real anchor
+  const Reconstruct recon_outer = config.reconstruct.value_or(Reconstruct::Twelve);
+  const Reconstruct recon_sloppy =
+      config.reconstruct_sloppy.value_or(config.reconstruct.value_or(Reconstruct::Twelve));
 
   // every rank runs the same schedule; one rank accumulates the flop count
   // (all ranks are identical, so aggregate = per-rank x N)
@@ -103,18 +110,18 @@ ModeledSolverResult run_modeled_solver(sim::VirtualCluster& cluster,
     // setup: gauge ghost exchange (program initialization, Section VI-B)
     switch (sloppy) {
       case Precision::Double:
-        exchange_gauge_ghost<PrecDouble>(grid, local, nullptr, Execution::Modeled);
+        exchange_gauge_ghost<PrecDouble>(grid, local, nullptr, Execution::Modeled, recon_sloppy);
         break;
       case Precision::Single:
-        exchange_gauge_ghost<PrecSingle>(grid, local, nullptr, Execution::Modeled);
+        exchange_gauge_ghost<PrecSingle>(grid, local, nullptr, Execution::Modeled, recon_sloppy);
         break;
       case Precision::Half:
-        exchange_gauge_ghost<PrecHalf>(grid, local, nullptr, Execution::Modeled);
+        exchange_gauge_ghost<PrecHalf>(grid, local, nullptr, Execution::Modeled, recon_sloppy);
         break;
     }
 
     // initial residual: one outer matrix apply + two BLAS sweeps + reduction
-    modeled_matrix(grid, local, config.outer, config.policy, config.time_bc);
+    modeled_matrix(grid, local, config.outer, recon_outer, config.policy, config.time_bc);
     flops += perf::effective_matrix_flops(vh);
     modeled_blas(ctx, config.outer, vh, 2, 1, flops);
     modeled_reduction(ctx);
@@ -126,9 +133,9 @@ ModeledSolverResult run_modeled_solver(sim::VirtualCluster& cluster,
     for (int k = 1; k <= config.iterations; ++k) {
       // BiCGstab iteration at sloppy precision: 2 matrix applies, the fused
       // BLAS schedule of solve_bicgstab, and 3 fused reductions
-      modeled_matrix(grid, local, sloppy, config.policy, config.time_bc);
+      modeled_matrix(grid, local, sloppy, recon_sloppy, config.policy, config.time_bc);
       draw_flip();
-      modeled_matrix(grid, local, sloppy, config.policy, config.time_bc);
+      modeled_matrix(grid, local, sloppy, recon_sloppy, config.policy, config.time_bc);
       draw_flip();
       flops += 2 * perf::effective_matrix_flops(vh);
       ++executed;
@@ -151,7 +158,7 @@ ModeledSolverResult run_modeled_solver(sim::VirtualCluster& cluster,
         // precision, convert back down (Section V-D)
         const double reliable_begin_us = ctx.clock().now_us;
         modeled_blas(ctx, config.outer, vh, 3, 1, flops); // y += x_lo
-        modeled_matrix(grid, local, config.outer, config.policy, config.time_bc);
+        modeled_matrix(grid, local, config.outer, recon_outer, config.policy, config.time_bc);
         flops += perf::effective_matrix_flops(vh);
         modeled_blas(ctx, config.outer, vh, 2, 1, flops); // r = b - Ay + norm
         modeled_reduction(ctx);
@@ -167,7 +174,7 @@ ModeledSolverResult run_modeled_solver(sim::VirtualCluster& cluster,
           // rollback: restore the saved iterate, recompute the residual,
           // rebuild the sloppy Krylov space, then re-run the voided segment
           modeled_blas(ctx, config.outer, vh, 1, 1, flops); // x = x_saved
-          modeled_matrix(grid, local, config.outer, config.policy, config.time_bc);
+          modeled_matrix(grid, local, config.outer, recon_outer, config.policy, config.time_bc);
           flops += perf::effective_matrix_flops(vh);
           modeled_blas(ctx, config.outer, vh, 2, 1, flops); // r = b - Ax + norm
           modeled_reduction(ctx);

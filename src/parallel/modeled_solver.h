@@ -28,6 +28,12 @@ struct ModeledSolverConfig {
   comm::GridTopology topology{};
   Precision outer = Precision::Single;       // high/outer precision
   std::optional<Precision> sloppy{};         // set => mixed precision
+  // gauge link storage per level.  Unset keeps the pre-knob behavior: the
+  // 12-real anchored kernel traffic and the era-default footprint (18-real
+  // double, 12-real otherwise).  Set, it drives the kernel bytes, the gauge
+  // ghost wire, and the footprint gate -- the fig4/5/6 curves move with it.
+  std::optional<Reconstruct> reconstruct{};
+  std::optional<Reconstruct> reconstruct_sloppy{};
   CommPolicy policy = CommPolicy::Overlap;
   int iterations = 200;                      // Krylov iterations to simulate
   int reliable_interval = 40;                // iterations per reliable update (mixed)
@@ -42,6 +48,7 @@ struct ModeledSolverConfig {
 struct ModeledSolverResult {
   bool fits = true;               // device memory gate (footprint vs capacity)
   std::int64_t footprint_bytes = 0;
+  std::int64_t gauge_footprint_bytes = 0; // gauge slice of the footprint (recon-aware)
   double time_us = 0;             // simulated makespan of the solve
   double effective_gflops = 0;    // aggregate sustained effective Gflops
   int iterations = 0;             // iterations executed (incl. re-run segments)

@@ -138,6 +138,7 @@ private:
     cfg.scale = scale;
     cfg.accumulate = acc;
     cfg.time_bc = params_.time_bc;
+    cfg.reconstruct = gauge_.reconstruct();
     HaloFields<P> f;
     f.out = &out;
     f.gauge = &gauge_;

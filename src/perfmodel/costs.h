@@ -16,6 +16,7 @@
 // single-half, ~25-30 for double).
 
 #include "gpusim/kernel_model.h"
+#include "lattice/gauge_field.h"
 #include "lattice/geometry.h"
 #include "lattice/precision.h"
 
@@ -28,6 +29,13 @@ namespace quda::perf {
 inline constexpr double kMatrixFlopsPerSite = 3696.0;
 inline constexpr double kMatrixBytesPerSiteSingle = 2976.0;
 
+// link loads per matrix application per (single-parity) site: the two fused
+// dslash kernels each stream 8 links (4 directions x forward/backward)
+inline constexpr double kLinkLoadsPerSite = 16.0;
+
+// the 2976-byte anchor assumes 2-row (12-real) gauge compression
+inline constexpr int kAnchorGaugeReals = 12;
+
 inline double matrix_bytes_per_site(Precision p) {
   switch (p) {
     case Precision::Double: return 2.0 * kMatrixBytesPerSiteSingle;
@@ -38,6 +46,22 @@ inline double matrix_bytes_per_site(Precision p) {
       return 0.5 * kMatrixBytesPerSiteSingle + 10.0 * 4.0;
   }
   return 0;
+}
+
+// gauge-only slice of the matrix traffic: 16 link loads per site at the
+// field's stored width -- the quantity link reconstruction shrinks
+inline double gauge_bytes_per_site(Precision p, Reconstruct r) {
+  return kLinkLoadsPerSite * reals_per_link(r) * static_cast<double>(bytes_per_real(p));
+}
+
+// recon-aware matrix traffic: shift the anchored total by the difference
+// between the stored link width and the anchor's 12 reals, so Twelve
+// reproduces matrix_bytes_per_site(p) exactly and Eight/Eighteen move the
+// modeled bandwidth (and with it effective Gflops) the way the papers show
+inline double matrix_bytes_per_site(Precision p, Reconstruct r) {
+  return matrix_bytes_per_site(p) +
+         kLinkLoadsPerSite * (reals_per_link(r) - kAnchorGaugeReals) *
+             static_cast<double>(bytes_per_real(p));
 }
 
 // dslash-kernel fraction of peak bandwidth (gather-heavy access pattern);
@@ -65,6 +89,14 @@ inline gpusim::KernelCost dslash_kernel_cost(Precision p, std::int64_t sites,
   c.efficiency = dslash_efficiency(p);
   c.stride_bytes = stride_bytes;
   c.name = "dslash";
+  return c;
+}
+
+// recon-aware variant (Twelve reproduces the two-argument cost bit-for-bit)
+inline gpusim::KernelCost dslash_kernel_cost(Precision p, std::int64_t sites, Reconstruct r,
+                                             std::int64_t stride_bytes = 0) {
+  gpusim::KernelCost c = dslash_kernel_cost(p, sites, stride_bytes);
+  c.bytes = 0.5 * matrix_bytes_per_site(p, r) * static_cast<double>(sites);
   return c;
 }
 

@@ -14,6 +14,7 @@
 //    a mixed solver adds 7 sloppy-precision vectors (r, r0, p, v, s, t, x);
 //  * half-precision fields carry float norm arrays.
 
+#include "lattice/gauge_field.h"
 #include "lattice/geometry.h"
 #include "lattice/precision.h"
 
@@ -29,8 +30,16 @@ struct SolverFootprint {
   std::int64_t total() const { return gauge_bytes + clover_bytes + spinor_bytes; }
 };
 
+// era-default storage convention when no explicit Reconstruct is given
 inline std::int64_t gauge_reals_per_link(Precision p) {
   return p == Precision::Double ? 18 : 12;
+}
+
+// actual stored width of a field with a known Reconstruct; the nullopt
+// passthrough keeps the legacy per-precision convention for callers that
+// predate the knob
+inline std::int64_t gauge_reals_per_link(Precision p, std::optional<Reconstruct> r) {
+  return r ? reals_per_link(*r) : gauge_reals_per_link(p);
 }
 
 inline std::int64_t spinor_vector_bytes(Precision p, std::int64_t half_volume,
@@ -41,10 +50,11 @@ inline std::int64_t spinor_vector_bytes(Precision p, std::int64_t half_volume,
   return b;
 }
 
-inline std::int64_t gauge_field_bytes(Precision p, const LatticeDims& local) {
+inline std::int64_t gauge_field_bytes(Precision p, const LatticeDims& local,
+                                      std::optional<Reconstruct> recon = std::nullopt) {
   const std::int64_t v = local.volume();
   const std::int64_t pad = local.spatial_volume(); // one face of padding per parity pair
-  return (v + pad) * 4 * gauge_reals_per_link(p) * bytes_per_real(p);
+  return (v + pad) * 4 * gauge_reals_per_link(p, recon) * bytes_per_real(p);
 }
 
 inline std::int64_t clover_field_bytes(Precision p, const LatticeDims& local) {
@@ -57,19 +67,22 @@ inline std::int64_t clover_field_bytes(Precision p, const LatticeDims& local) {
 // footprint of a BiCGstab solve at `outer` precision with an optional
 // different sloppy precision (mixed mode stores both copies of the gauge
 // and clover fields -- the memory price of mixed precision the paper calls
-// out in Section VII-C)
+// out in Section VII-C).  Gauge bytes honor the per-level Reconstruct when
+// given; without one the legacy per-precision convention applies.
 inline SolverFootprint solver_footprint(const LatticeDims& local, Precision outer,
-                                        std::optional<Precision> sloppy = std::nullopt) {
+                                        std::optional<Precision> sloppy = std::nullopt,
+                                        std::optional<Reconstruct> recon = std::nullopt,
+                                        std::optional<Reconstruct> recon_sloppy = std::nullopt) {
   SolverFootprint f;
   const std::int64_t vh = local.volume() / 2;
   const std::int64_t fs = local.spatial_volume() / 2;
 
-  f.gauge_bytes = gauge_field_bytes(outer, local);
+  f.gauge_bytes = gauge_field_bytes(outer, local, recon);
   f.clover_bytes = clover_field_bytes(outer, local);
   f.spinor_bytes = 8 * spinor_vector_bytes(outer, vh, fs);
 
   if (sloppy && *sloppy != outer) {
-    f.gauge_bytes += gauge_field_bytes(*sloppy, local);
+    f.gauge_bytes += gauge_field_bytes(*sloppy, local, recon_sloppy ? recon_sloppy : recon);
     f.clover_bytes += clover_field_bytes(*sloppy, local);
     f.spinor_bytes += 7 * spinor_vector_bytes(*sloppy, vh, fs);
   }

@@ -107,6 +107,39 @@ inline SU3Compressed<float> unpack_half(const PackedGaugeHalf& p) {
   return u;
 }
 
+// --- gauge packing (8-real compressed) --------------------------------------
+//
+// Of the eight reals (see SU3Packed8), the six matrix elements are bounded
+// by [-1, 1] through unitarity and quantize like the 12-real format, but the
+// two leading entries are *phases* in [-pi, pi].  They are stored divided by
+// pi, which maps them exactly onto the fixed-point interval -- the
+// half-precision rule the angles need that the bounded elements do not.
+
+inline constexpr float kPhaseScale = 3.14159265358979323846f;
+
+inline float phase_to_unit(float theta) { return theta / kPhaseScale; }
+inline float unit_to_phase(float u) { return u * kPhaseScale; }
+
+struct PackedGauge8Half {
+  std::array<half_t, 8> v{};
+};
+
+inline PackedGauge8Half pack_half(const SU3Packed8<float>& p) {
+  PackedGauge8Half h;
+  h.v[0] = to_half(phase_to_unit(p.v[0]));
+  h.v[1] = to_half(phase_to_unit(p.v[1]));
+  for (std::size_t k = 2; k < 8; ++k) h.v[k] = to_half(p.v[k]);
+  return h;
+}
+
+inline SU3Packed8<float> unpack_half(const PackedGauge8Half& h) {
+  SU3Packed8<float> p;
+  p.v[0] = unit_to_phase(from_half(h.v[0]));
+  p.v[1] = unit_to_phase(from_half(h.v[1]));
+  for (std::size_t k = 2; k < 8; ++k) p.v[k] = from_half(h.v[k]);
+  return p;
+}
+
 // --- clover packing ---------------------------------------------------------
 
 // Clover blocks are Hermitian with eigenvalues O(1 + csw * F); QUDA stores

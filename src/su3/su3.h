@@ -11,7 +11,9 @@
 #include "su3/complex.h"
 
 #include <array>
+#include <cmath>
 #include <cstddef>
+#include <limits>
 
 namespace quda {
 
@@ -171,6 +173,95 @@ template <typename T> constexpr SU3<T> decompress(const SU3Compressed<T>& c) {
   m.e[0] = c.row[0];
   m.e[1] = c.row[1];
   m.e[2] = reconstruct_third_row(c.row[0], c.row[1]);
+  return m;
+}
+
+// --- 8-real gauge compression ----------------------------------------------
+//
+// The minimal practical parameterization (Clark et al., arXiv:0911.3191):
+// store the phases of U00 and U20 plus the complex elements U01, U02, U10 --
+// eight reals per link.  Unitarity fixes the magnitudes |U00| and |U20| (row
+// 0 and column 0 are unit vectors), and the remaining four elements follow
+// from orthogonality of the rows plus the cross-product identity
+// row2 = conj(row0 x row1).  All eight stored numbers are bounded: the six
+// matrix elements lie in [-1, 1] by unitarity and the two phases in
+// [-pi, pi], which is what makes a fixed-point half-precision encoding
+// possible (see su3/halfprec.h).
+//
+// Layout of the 8 reals: { arg(U00), arg(U20), Re U01, Im U01, Re U02,
+// Im U02, Re U10, Im U10 }.
+
+template <typename T> struct SU3Packed8 {
+  std::array<T, 8> v{};
+
+  constexpr T& operator[](std::size_t i) { return v[i]; }
+  constexpr const T& operator[](std::size_t i) const { return v[i]; }
+};
+
+template <typename T> inline SU3Packed8<T> pack_eight(const SU3<T>& m) {
+  SU3Packed8<T> p;
+  p.v[0] = std::atan2(m.e[0][0].im, m.e[0][0].re);
+  p.v[1] = std::atan2(m.e[2][0].im, m.e[2][0].re);
+  p.v[2] = m.e[0][1].re;
+  p.v[3] = m.e[0][1].im;
+  p.v[4] = m.e[0][2].re;
+  p.v[5] = m.e[0][2].im;
+  p.v[6] = m.e[1][0].re;
+  p.v[7] = m.e[1][0].im;
+  return p;
+}
+
+// Reconstruct the full link from the 8-real parameterization.  The division
+// by n = |U01|^2 + |U02|^2 is singular when row 0 is concentrated in its
+// first element (e.g. unit gauge links): the parameterization genuinely
+// cannot represent the lower-right 2x2 block then, so a deterministic
+// fallback completes the matrix as a1 (+) diag embedding, which is still a
+// valid SU(3) element.  sqrt arguments are clamped at zero against rounding.
+template <typename T> inline SU3<T> unpack_eight(const SU3Packed8<T>& p) {
+  const Complex<T> phase_a1{std::cos(p.v[0]), std::sin(p.v[0])};
+  const Complex<T> a2{p.v[2], p.v[3]};
+  const Complex<T> a3{p.v[4], p.v[5]};
+  const Complex<T> b1{p.v[6], p.v[7]};
+
+  const T n = norm2(a2) + norm2(a3);
+  const T abs_a1 = std::sqrt(std::max(T(0), T(1) - n));
+  const Complex<T> a1 = phase_a1 * abs_a1;
+
+  SU3<T> m;
+  m.e[0][0] = a1;
+  m.e[0][1] = a2;
+  m.e[0][2] = a3;
+
+  // degenerate row 0: orthogonality forces U10 ~ 0 as well, so complete as
+  // the block-diagonal a1 (+) [[1, 0], [0, conj(a1)]] (det = +1)
+  if (n <= T(32) * std::numeric_limits<T>::epsilon()) {
+    m.e[1][0] = Complex<T>{};
+    m.e[1][1] = Complex<T>(T(1));
+    m.e[1][2] = Complex<T>{};
+    m.e[2][0] = Complex<T>{};
+    m.e[2][1] = Complex<T>{};
+    m.e[2][2] = conj(a1);
+    return m;
+  }
+
+  // column 0 is a unit vector: |c1|^2 = 1 - |a1|^2 - |b1|^2
+  const T abs_c1 = std::sqrt(std::max(T(0), T(1) - norm2(a1) - norm2(b1)));
+  const Complex<T> c1 = Complex<T>{std::cos(p.v[1]), std::sin(p.v[1])} * abs_c1;
+
+  // Cramer's rule on the two linear constraints
+  //   conj(a2) b2 + conj(a3) b3 = -conj(a1) b1   (row 1 _|_ row 0)
+  //   -a3 b2 + a2 b3 = conj(c1)                  (c1 from the cross product)
+  const T inv_n = T(1) / n;
+  const Complex<T> b2 = (conj(a3) * conj(c1) + conj(a1) * (a2 * b1)) * -inv_n;
+  const Complex<T> b3 = (conj(a2) * conj(c1) - conj(a1) * (a3 * b1)) * inv_n;
+  m.e[1][0] = b1;
+  m.e[1][1] = b2;
+  m.e[1][2] = b3;
+
+  // row2 = conj(row0 x row1), written with the already-known c1
+  m.e[2][0] = c1;
+  m.e[2][1] = conj(a3 * b1 - a1 * b3);
+  m.e[2][2] = conj(a1 * b2 - a2 * b1);
   return m;
 }
 

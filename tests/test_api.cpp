@@ -130,6 +130,48 @@ TEST(PublicApi, ApplyMatrixIsConsistentWithInvert) {
   EXPECT_LT(std::sqrt(num / den), 1e-7);
 }
 
+TEST(PublicApi, Recon8SolveMatchesRecon12) {
+  // the solve with 8-real gauge storage must converge to the same residual
+  // tolerance as the 12-real default -- reconstruction changes the storage
+  // and the kernel arithmetic, not the operator being inverted
+  ApiFixture f;
+  HostSpinorField x12(f.g), x8(f.g);
+
+  InvertParams p12 = f.params;
+  p12.reconstruct = Reconstruct::Twelve;
+  const InvertResult r12 = invert(f.u, f.b, x12, p12);
+
+  InvertParams p8 = f.params;
+  p8.reconstruct = Reconstruct::Eight;
+  const InvertResult r8 = invert(f.u, f.b, x8, p8);
+
+  ASSERT_TRUE(r12.stats.converged) << r12.stats.summary();
+  ASSERT_TRUE(r8.stats.converged) << r8.stats.summary();
+  EXPECT_LT(f.reference_residual(x12), 1e-8);
+  EXPECT_LT(f.reference_residual(x8), 1e-8);
+  // 8-real storage holds fewer reals per link, so the device gauge
+  // allocation must shrink
+  EXPECT_GT(r12.gauge_device_bytes, 0);
+  EXPECT_LT(r8.gauge_device_bytes, r12.gauge_device_bytes);
+}
+
+TEST(PublicApi, Recon8MixedPrecisionSloppy) {
+  // outer Twelve + sloppy Eight: the compressed level only carries the
+  // sloppy iterations; reliable updates in the outer precision restore the
+  // true residual
+  ApiFixture f;
+  f.params.precision = Precision::Single;
+  f.params.sloppy = Precision::Half;
+  f.params.tol = 1e-6;
+  f.params.delta = 1e-1;
+  f.params.reconstruct = Reconstruct::Twelve;
+  f.params.reconstruct_sloppy = Reconstruct::Eight;
+  HostSpinorField x(f.g);
+  const InvertResult r = invert_multi_gpu(sim::ClusterSpec::jlab_9g(2), f.u, f.b, x, f.params);
+  EXPECT_TRUE(r.stats.converged) << r.stats.summary();
+  EXPECT_LT(f.reference_residual(x), 1e-4);
+}
+
 TEST(PublicApi, RejectsInvalidParams) {
   ApiFixture f;
   HostSpinorField x(f.g);
@@ -145,6 +187,14 @@ TEST(PublicApi, RejectsInvalidParams) {
   // T not divisible by ranks
   EXPECT_THROW(invert_multi_gpu(sim::ClusterSpec::jlab_9g(3), f.u, f.b, x, f.params),
                std::invalid_argument);
+
+  // the sloppy level may compress harder than the outer, never less
+  bad = f.params;
+  bad.precision = Precision::Single;
+  bad.sloppy = Precision::Half;
+  bad.reconstruct = Reconstruct::Eight;
+  bad.reconstruct_sloppy = Reconstruct::Eighteen;
+  EXPECT_THROW(invert(f.u, f.b, x, bad), std::invalid_argument);
 }
 
 TEST(PublicApi, MultiDimGridMatchesTimeSlicing) {

@@ -195,9 +195,10 @@ TEST(HostEngineKernels, BlasBitIdenticalAcrossBudgetsHalf) {
   expect_blas_bit_identity<PrecHalf>();
 }
 
-template <typename P> void expect_dslash_bit_identity() {
+template <typename P>
+void expect_dslash_bit_identity(Reconstruct recon = Reconstruct::Twelve) {
   const auto& d = kdata();
-  const GaugeField<P> gauge = upload_gauge<P>(d.u, Reconstruct::Twelve);
+  const GaugeField<P> gauge = upload_gauge<P>(d.u, recon);
   const SpinorField<P> in = upload_spinor<P>(d.a, Parity::Odd);
 
   auto run_at = [&](int budget) {
@@ -224,6 +225,15 @@ TEST(HostEngineKernels, DslashBitIdenticalAcrossBudgetsSingle) {
 }
 TEST(HostEngineKernels, DslashBitIdenticalAcrossBudgetsHalf) {
   expect_dslash_bit_identity<PrecHalf>();
+}
+
+// the 8-real reconstruction runs extra per-link math (atan2, sqrt, Cramer's
+// rule) inside the site loop; it must stay on the same grain schedule
+TEST(HostEngineKernels, DslashBitIdenticalAcrossBudgetsRecon8Single) {
+  expect_dslash_bit_identity<PrecSingle>(Reconstruct::Eight);
+}
+TEST(HostEngineKernels, DslashBitIdenticalAcrossBudgetsRecon8Half) {
+  expect_dslash_bit_identity<PrecHalf>(Reconstruct::Eight);
 }
 
 // fused kernels vs their unfused elementary composition

@@ -40,6 +40,96 @@ TEST(Costs, PaperAnchorNumbers) {
             0.55 * perf::matrix_bytes_per_site(Precision::Single));
 }
 
+TEST(Costs, ReconAwareTrafficShrinks) {
+  // Twelve is the anchor: the recon-aware overload must reproduce the
+  // two-argument totals bit-for-bit
+  for (Precision p : {Precision::Double, Precision::Single, Precision::Half}) {
+    EXPECT_EQ(perf::matrix_bytes_per_site(p, Reconstruct::Twelve), perf::matrix_bytes_per_site(p));
+    const auto anchor = perf::dslash_kernel_cost(p, 1000);
+    const auto twelve = perf::dslash_kernel_cost(p, 1000, Reconstruct::Twelve);
+    EXPECT_EQ(anchor.bytes, twelve.bytes);
+    EXPECT_EQ(anchor.flops, twelve.flops);
+  }
+
+  // gauge-only traffic: 16 link loads x stored reals; the acceptance floors
+  // of the reconstruction work -- 8-real cuts >= 30% of the gauge traffic
+  // vs 18-real and >= 25% vs 12-real
+  for (Precision p : {Precision::Double, Precision::Single, Precision::Half}) {
+    const double g8 = perf::gauge_bytes_per_site(p, Reconstruct::Eight);
+    const double g12 = perf::gauge_bytes_per_site(p, Reconstruct::Twelve);
+    const double g18 = perf::gauge_bytes_per_site(p, Reconstruct::Eighteen);
+    EXPECT_DOUBLE_EQ(g12, 16.0 * 12 * bytes_per_real(p));
+    EXPECT_GE((g18 - g8) / g18, 0.30);
+    EXPECT_GE((g12 - g8) / g12, 0.25);
+  }
+
+  // the full matrix traffic moves by exactly the gauge delta, so effective
+  // Gflops scale with it in the bandwidth-bound model
+  const double m8 = perf::matrix_bytes_per_site(Precision::Single, Reconstruct::Eight);
+  const double m12 = perf::matrix_bytes_per_site(Precision::Single, Reconstruct::Twelve);
+  const double m18 = perf::matrix_bytes_per_site(Precision::Single, Reconstruct::Eighteen);
+  EXPECT_DOUBLE_EQ(m12 - m8, 16.0 * 4 * 4.0);
+  EXPECT_DOUBLE_EQ(m18 - m12, 16.0 * 6 * 4.0);
+  EXPECT_LT(m8, m12);
+  EXPECT_LT(m12, m18);
+}
+
+TEST(Footprint, ReconAwareGaugeBytes) {
+  const LatticeDims local{8, 8, 8, 16};
+  // the nullopt passthrough keeps the legacy per-precision convention
+  EXPECT_EQ(perf::gauge_field_bytes(Precision::Single, local),
+            perf::gauge_field_bytes(Precision::Single, local, Reconstruct::Twelve));
+  EXPECT_EQ(perf::gauge_field_bytes(Precision::Double, local),
+            perf::gauge_field_bytes(Precision::Double, local, Reconstruct::Eighteen));
+  // stored bytes scale with the link width
+  const auto b8 = perf::gauge_field_bytes(Precision::Single, local, Reconstruct::Eight);
+  const auto b12 = perf::gauge_field_bytes(Precision::Single, local, Reconstruct::Twelve);
+  const auto b18 = perf::gauge_field_bytes(Precision::Single, local, Reconstruct::Eighteen);
+  EXPECT_EQ(b8 * 12, b12 * 8);
+  EXPECT_EQ(b8 * 18, b18 * 8);
+
+  // the solver footprint honors per-level reconstruction: sloppy inherits
+  // the outer knob unless overridden
+  const auto base = perf::solver_footprint(local, Precision::Single, Precision::Half);
+  const auto r8 = perf::solver_footprint(local, Precision::Single, Precision::Half,
+                                         Reconstruct::Eight);
+  const auto mixed = perf::solver_footprint(local, Precision::Single, Precision::Half,
+                                            Reconstruct::Twelve, Reconstruct::Eight);
+  EXPECT_LT(r8.gauge_bytes, base.gauge_bytes);
+  EXPECT_LT(mixed.gauge_bytes, base.gauge_bytes);
+  EXPECT_LT(r8.gauge_bytes, mixed.gauge_bytes);
+  EXPECT_EQ(r8.spinor_bytes, base.spinor_bytes);
+  EXPECT_EQ(r8.clover_bytes, base.clover_bytes);
+}
+
+TEST(ModeledSolver, Recon8RaisesModeledPerformance) {
+  // less gauge traffic -> faster bandwidth-bound dslash -> higher effective
+  // Gflops, with the gauge footprint shrinking accordingly
+  const LatticeDims local{24, 24, 24, 32};
+  ClusterSpec spec = ClusterSpec::jlab_9g(4);
+  auto run_recon = [&](std::optional<Reconstruct> r) {
+    VirtualCluster cluster(spec);
+    ModeledSolverConfig cfg;
+    cfg.local = local;
+    cfg.outer = Precision::Single;
+    cfg.policy = CommPolicy::Overlap;
+    cfg.iterations = 50;
+    cfg.reconstruct = r;
+    return run_modeled_solver(cluster, cfg);
+  };
+  const auto legacy = run_recon(std::nullopt);
+  const auto r12 = run_recon(Reconstruct::Twelve);
+  const auto r8 = run_recon(Reconstruct::Eight);
+  const auto r18 = run_recon(Reconstruct::Eighteen);
+  ASSERT_TRUE(legacy.fits && r12.fits && r8.fits && r18.fits);
+  // unset knob == explicit Twelve (the pre-knob behavior) for the kernels
+  EXPECT_EQ(legacy.effective_gflops, r12.effective_gflops);
+  EXPECT_GT(r8.effective_gflops, r12.effective_gflops);
+  EXPECT_GT(r12.effective_gflops, r18.effective_gflops);
+  EXPECT_LT(r8.gauge_footprint_bytes, r12.gauge_footprint_bytes);
+  EXPECT_LT(r12.gauge_footprint_bytes, r18.gauge_footprint_bytes);
+}
+
 TEST(Costs, FaceBytesArithmetic) {
   // 12 reals per face site (the projected half spinor)
   EXPECT_EQ(perf::face_bytes(Precision::Single, 1000), 1000 * 12 * 4);

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <random>
 
 namespace quda {
@@ -121,6 +122,60 @@ TEST(SU3, WeakFieldIsNearIdentity) {
   const SU3<double> u = reunitarize(m);
   EXPECT_LT(frobenius_dist2(u, SU3<double>::identity()), 0.3);
   EXPECT_NEAR(det(u).re, 1.0, 1e-12);
+}
+
+TEST(SU3, EightRealRoundTrip) {
+  std::mt19937_64 rng(17);
+  for (int i = 0; i < 200; ++i) {
+    const SU3<double> u = random_su3(rng);
+    const SU3<double> v = unpack_eight(pack_eight(u));
+    EXPECT_LT(frobenius_dist2(u, v), 1e-22) << "8-real reconstruction failed at trial " << i;
+  }
+}
+
+TEST(SU3, EightRealRoundTripSingle) {
+  std::mt19937_64 rng(29);
+  for (int i = 0; i < 200; ++i) {
+    const SU3<double> ud = random_su3(rng);
+    SU3<float> u;
+    for (std::size_t r = 0; r < 3; ++r)
+      for (std::size_t c = 0; c < 3; ++c)
+        u.e[r][c] = Complex<float>(static_cast<float>(ud.e[r][c].re),
+                                   static_cast<float>(ud.e[r][c].im));
+    const SU3<float> v = unpack_eight(pack_eight(u));
+    EXPECT_LT(frobenius_dist2(u, v), 1e-9f) << "trial " << i;
+  }
+}
+
+// the reconstructed matrix must live on the SU(3) manifold even when the
+// inputs are rounded (the unpack enforces unitarity by construction)
+TEST(SU3, EightRealUnpackIsSpecialUnitary) {
+  std::mt19937_64 rng(31);
+  for (int i = 0; i < 100; ++i) {
+    const SU3<double> u = unpack_eight(pack_eight(random_su3(rng)));
+    EXPECT_LT(frobenius_dist2(u * adjoint(u), SU3<double>::identity()), 1e-22);
+    EXPECT_NEAR(det(u).re, 1.0, 1e-11);
+    EXPECT_NEAR(det(u).im, 0.0, 1e-11);
+  }
+}
+
+// links with a (numerically) vanishing first-row tail |U01|^2 + |U02|^2 hit
+// the degenerate branch: the unpack must still return a valid SU(3) matrix
+// that agrees on the stored first column phase
+TEST(SU3, EightRealDegenerateFallback) {
+  SU3<double> u{}; // diag(e^{i a}, 1, e^{-i a}): U01 = U02 = 0 exactly
+  const double a = 0.73;
+  u.e[0][0] = complexd(std::cos(a), std::sin(a));
+  u.e[1][1] = complexd(1.0, 0.0);
+  u.e[2][2] = complexd(std::cos(a), -std::sin(a));
+  const SU3<double> v = unpack_eight(pack_eight(u));
+  EXPECT_LT(frobenius_dist2(v * adjoint(v), SU3<double>::identity()), 1e-24);
+  EXPECT_NEAR(det(v).re, 1.0, 1e-12);
+  EXPECT_NEAR(v.e[0][0].re, u.e[0][0].re, 1e-12);
+  EXPECT_NEAR(v.e[0][0].im, u.e[0][0].im, 1e-12);
+  // the identity link is its own reconstruction
+  const SU3<double> id = SU3<double>::identity();
+  EXPECT_LT(frobenius_dist2(unpack_eight(pack_eight(id)), id), 1e-28);
 }
 
 } // namespace

@@ -38,6 +38,10 @@ GATED_METRICS = {
     "crit_pcie_us": "lower",
     "gflops": "higher",
     "overlap_efficiency": "higher",
+    # device-memory footprints (recon-aware gauge storage): growing the
+    # modeled allocation is a regression like losing flops is
+    "footprint_bytes": "lower",
+    "gauge_footprint_bytes": "lower",
 }
 
 # numeric fields that are axes, not measurements -- part of the join key
@@ -161,14 +165,15 @@ def parse_gates(args):
 def self_test():
     """Synthetic baseline/current pair: the gate must fire on an injected
     regression and stay silent on identical inputs."""
-    def doc(time_us, gflops):
+    def doc(time_us, gflops, gauge_bytes=1.0e6):
         return {
             "name": "selftest",
             "points": [
                 {"series": "overlap", "gpus": 2, "time_us": time_us,
                  "gflops": gflops, "crit_path_us": time_us,
                  "crit_exposed_comm_us": 0.25 * time_us,
-                 "crit_interior_us": 0.75 * time_us},
+                 "crit_interior_us": 0.75 * time_us,
+                 "gauge_footprint_bytes": gauge_bytes},
                 {"series": "overlap", "gpus": 4, "time_us": 100.0, "gflops": 50.0},
             ],
         }
@@ -188,6 +193,12 @@ def self_test():
     metrics = sorted(r["metric"] for r in regressions)
     assert metrics == ["crit_exposed_comm_us", "crit_path_us", "gflops", "time_us"], metrics
     assert all(("gpus", 2) in r["key"] for r in regressions), "wrong point flagged"
+
+    # a fatter gauge footprint (e.g. a recon knob silently dropped) fires
+    # the memory gate even when the timing metrics hold steady
+    fat = index_points(doc(1000.0, 40.0, gauge_bytes=1.2e6), "fat")
+    regressions, _ = compare(base, fat, thresholds)
+    assert [r["metric"] for r in regressions] == ["gauge_footprint_bytes"], regressions
 
     # 5% drift stays under the default 10% gate ...
     drift = index_points(doc(1050.0, 40.0 / 1.05), "drift")

@@ -53,6 +53,13 @@ if [ "${#rf_traces[@]}" -eq 0 ]; then
 fi
 python3 tools/trace_lint.py "${rf_traces[@]}"
 
+# link-reconstruction smoke: the 8-real gauge path must round-trip, agree
+# with the 18-real dslash, and converge the recon-8 solve to the recon-12
+# residual (the full recon matrix runs in CI)
+(cd "$BUILD/tests" && ./quda_tests \
+  --gtest_filter='SU3.EightReal*:DslashCompression.EightMatchesEighteen:PublicApi.Recon8SolveMatchesRecon12' \
+  > /dev/null)
+
 # perf-regression gate on the quick fig5 sweep
 baseline="$BUILD/bench_baseline_fig5_strong.json"
 current="$BUILD/bench/BENCH_fig5_strong.json"
