@@ -19,6 +19,9 @@ namespace {
 
 parallel::ModeledSolverResult run_topo(const comm::GridTopology& topo, LatticeDims global) {
   sim::ClusterSpec spec = sim::ClusterSpec::jlab_9g(topo.num_ranks());
+  // the event-loop scheduler keeps rank count a parameter: the 256-1024
+  // rank cases are fibers on one thread, not hundreds of OS threads
+  spec.scheduler = sim::SchedulerKind::Seq;
   sim::VirtualCluster cluster(spec);
   parallel::ModeledSolverConfig cfg;
   cfg.local = global;
@@ -52,6 +55,8 @@ int main() {
       {{{1, 1, 1, 32}}},  {{{1, 1, 1, 64}}},  {{{1, 1, 2, 32}}},
       {{{1, 1, 1, 128}}}, {{{1, 1, 2, 64}}},  {{{1, 1, 4, 32}}},
       {{{1, 1, 2, 128}}}, {{{1, 1, 4, 64}}},  {{{1, 2, 4, 32}}},
+      {{{1, 2, 4, 64}}},  {{{2, 2, 4, 32}}},  {{{2, 2, 4, 64}}},
+      {{{1, 4, 4, 64}}},
   };
 
   for (const auto& c : cases) {

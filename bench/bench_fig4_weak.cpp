@@ -10,6 +10,12 @@
 // Expected shapes: near-linear scaling in every mode; mixed-precision
 // solvers well above uniform single; double-half nearly identical to
 // single-half; >4 Tflops aggregate at 32 GPUs for single-half in (a).
+//
+// (c) extends past the paper to 256-1024 simulated GPUs ("Scaling Lattice
+// QCD beyond 100 GPUs" regime): 4-D grid decompositions on a fat-tree
+// cluster under the cooperative seq scheduler, with critpath attribution
+// per point.  Weak scaling holds the local volume fixed, so the exposed-
+// comm fraction per point isolates the interconnect hierarchy's cost.
 
 #include "bench_util.h"
 
@@ -26,6 +32,26 @@ void run_subfigure(BenchJson& json, const char* title, LatticeDims local,
     for (int n : gpus) results[s].push_back(run_weak_point(n, local, series[s]));
   print_scaling_table(title, gpus, series, results);
   record_scaling_points(json, title, gpus, series, results);
+}
+
+void run_multidim_table(BenchJson& json, const char* title, LatticeDims local,
+                        const std::vector<comm::GridTopology>& grids,
+                        const SolverSeries& series) {
+  std::printf("\n%s\n", title);
+  std::printf("%-8s %-14s %14s %16s\n", "GPUs", "grid", "Gflops", "GF per GPU");
+  for (const auto& topo : grids) {
+    sim::ClusterSpec spec = sim::ClusterSpec::fat_tree(topo.num_ranks());
+    spec.scheduler = sim::SchedulerKind::Seq;
+    const auto r = run_weak_grid_point(spec, topo, local, series, /*iterations=*/10);
+    record_grid_point(json, title, series, topo, r);
+    if (!r.fits) {
+      std::printf("%-8d %-14s %14s\n", topo.num_ranks(), grid_label(topo).c_str(), "OOM");
+      continue;
+    }
+    std::printf("%-8d %-14s %12.1f GF %13.1f GF\n", topo.num_ranks(),
+                grid_label(topo).c_str(), r.effective_gflops,
+                r.effective_gflops / topo.num_ranks());
+  }
 }
 
 } // namespace
@@ -53,6 +79,22 @@ int main() {
                     {"single-half", Precision::Single, Precision::Half, CommPolicy::Overlap},
                     {"double-half", Precision::Double, Precision::Half, CommPolicy::Overlap},
                 });
+
+  // (c): weak scaling to 256-1024 simulated GPUs at (b)'s local volume,
+  // sweeping which dimensions the process grid cuts at each count
+  run_multidim_table(json, "(c) multi-dim V = 24^3 x 32 sites per GPU", {24, 24, 24, 32},
+                     {
+                         {{1, 1, 2, 128}},
+                         {{1, 2, 2, 64}},
+                         {{2, 2, 2, 32}},
+                         {{1, 2, 2, 128}},
+                         {{1, 2, 4, 64}},
+                         {{2, 2, 4, 32}},
+                         {{2, 2, 2, 128}},
+                         {{2, 2, 4, 64}},
+                         {{1, 4, 4, 64}},
+                     },
+                     {"single-half", Precision::Single, Precision::Half, CommPolicy::Overlap});
 
   json.write();
   return 0;

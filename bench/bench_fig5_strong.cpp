@@ -10,6 +10,13 @@
 //      solver plateaus beyond ~8 GPUs -- the cudaMemcpyAsync latency
 //      penalty is no longer hidden by the shrunken interior -- and is
 //      overtaken by the non-overlapped variant, the paper's surprise result.
+//
+//  (c) extension past the paper, in the regime of "Scaling Lattice QCD
+//      beyond 100 GPUs": 256-1024 simulated GPUs on (a)'s lattice,
+//      per-dimension 4-D decomposition sweeps on a fat-tree cluster, run
+//      under the cooperative seq scheduler (rank count is a parameter, not
+//      an OS thread budget).  Each point carries critpath/whatif
+//      attribution showing where each added cut dimension pays off.
 
 #include "bench_util.h"
 
@@ -28,6 +35,29 @@ void run_subfigure(BenchJson& json, const char* title, LatticeDims global,
     for (int n : gpus) results[s].push_back(run_point(n, global, series[s], iterations));
   print_scaling_table(title, gpus, series, results);
   record_scaling_points(json, title, gpus, series, results);
+}
+
+// the 256-1024 GPU decomposition sweep: fat-tree interconnect, seq scheduler
+void run_multidim_table(BenchJson& json, const char* title, LatticeDims global,
+                        const std::vector<comm::GridTopology>& grids,
+                        const SolverSeries& series, int iterations) {
+  std::printf("\n%s\n", title);
+  std::printf("%-8s %-14s %14s %16s %18s\n", "GPUs", "grid", "Gflops", "GF per GPU",
+              "exposed comm us");
+  for (const auto& topo : grids) {
+    sim::ClusterSpec spec = sim::ClusterSpec::fat_tree(topo.num_ranks());
+    spec.scheduler = sim::SchedulerKind::Seq;
+    const auto r = run_grid_point(spec, topo, global, series, iterations);
+    record_grid_point(json, title, series, topo, r);
+    if (!r.fits) {
+      std::printf("%-8d %-14s %14s\n", topo.num_ranks(), grid_label(topo).c_str(), "OOM");
+      continue;
+    }
+    std::printf("%-8d %-14s %12.1f GF %13.1f GF %16.1f\n", topo.num_ranks(),
+                grid_label(topo).c_str(), r.effective_gflops,
+                r.effective_gflops / topo.num_ranks(),
+                r.critpath.valid ? r.critpath.exposed_comm_us() : 0.0);
+  }
 }
 
 } // namespace
@@ -51,6 +81,13 @@ int main(int argc, char** argv) {
             {"single, overlap", Precision::Single, std::nullopt, CommPolicy::Overlap},
         },
         /*iterations=*/30);
+    // one 256-rank seq-scheduler point so the per-commit gate covers the
+    // O(1000)-rank path (cheap: modeled iterations, cooperative fibers)
+    run_multidim_table(json, "(c) multi-dim V = 24^3 x 128", {24, 24, 24, 128},
+                       {{{1, 2, 2, 64}}},
+                       {"single-half, overlap", Precision::Single, Precision::Half,
+                        CommPolicy::Overlap},
+                       /*iterations=*/10);
     json.write();
     return 0;
   }
@@ -76,6 +113,27 @@ int main(int argc, char** argv) {
           {"single-half, overlap", Precision::Single, Precision::Half, CommPolicy::Overlap},
       },
       /*iterations=*/100);
+
+  // (c): strong scaling to 256-1024 simulated GPUs on (a)'s lattice, with
+  // per-dimension decomposition sweeps at each GPU count.  At equal rank
+  // counts the grids differ only in which dimensions are cut; the critpath
+  // attribution (crit_*/whatif_* fields per point) shows the shrinking-
+  // interior exposed-comm cost each extra cut dimension buys back.
+  run_multidim_table(json, "(c) multi-dim V = 32^3 x 256 sites", {32, 32, 32, 256},
+                     {
+                         {{1, 1, 2, 128}},
+                         {{1, 2, 2, 64}},
+                         {{2, 2, 2, 32}},
+                         {{1, 2, 2, 128}},
+                         {{1, 2, 4, 64}},
+                         {{2, 2, 4, 32}},
+                         {{2, 2, 2, 128}},
+                         {{2, 2, 4, 64}},
+                         {{1, 4, 4, 64}},
+                     },
+                     {"single-half, overlap", Precision::Single, Precision::Half,
+                      CommPolicy::Overlap},
+                     /*iterations=*/10);
 
   json.write();
   return 0;

@@ -138,6 +138,55 @@ inline parallel::ModeledSolverResult run_weak_point(int ranks, LatticeDims local
   return parallel::run_modeled_solver(cluster, cfg);
 }
 
+// Run one modeled-solver data point decomposed over a full 4-D process grid
+// on an explicit cluster spec.  The big sweeps (256-1024 ranks) pair a
+// fat_tree spec with SchedulerKind::Seq so rank count stays a parameter
+// instead of an OS thread budget.
+inline parallel::ModeledSolverResult run_grid_point(sim::ClusterSpec spec,
+                                                    const comm::GridTopology& topo,
+                                                    LatticeDims global,
+                                                    const SolverSeries& series,
+                                                    int iterations = 20) {
+  spec.good_numa_binding = series.good_numa;
+  spec.trace.enabled = true;
+  sim::VirtualCluster cluster(spec);
+
+  parallel::ModeledSolverConfig cfg;
+  cfg.local = global;
+  cfg.local.x /= topo.dims[0];
+  cfg.local.y /= topo.dims[1];
+  cfg.local.z /= topo.dims[2];
+  cfg.local.t /= topo.dims[3];
+  cfg.topology = topo;
+  cfg.outer = series.outer;
+  cfg.sloppy = series.sloppy;
+  cfg.policy = series.policy;
+  cfg.iterations = iterations;
+  cfg.reconstruct = series.recon;
+  cfg.reconstruct_sloppy = series.recon_sloppy;
+  return parallel::run_modeled_solver(cluster, cfg);
+}
+
+// weak-scaling variant: `local` is the per-GPU volume, the global lattice
+// grows with the grid
+inline parallel::ModeledSolverResult run_weak_grid_point(sim::ClusterSpec spec,
+                                                         const comm::GridTopology& topo,
+                                                         LatticeDims local,
+                                                         const SolverSeries& series,
+                                                         int iterations = 20) {
+  LatticeDims global = local;
+  global.x *= topo.dims[0];
+  global.y *= topo.dims[1];
+  global.z *= topo.dims[2];
+  global.t *= topo.dims[3];
+  return run_grid_point(std::move(spec), topo, global, series, iterations);
+}
+
+inline std::string grid_label(const comm::GridTopology& topo) {
+  return std::to_string(topo.dims[0]) + "x" + std::to_string(topo.dims[1]) + "x" +
+         std::to_string(topo.dims[2]) + "x" + std::to_string(topo.dims[3]);
+}
+
 inline void print_scaling_table(const char* title, const std::vector<int>& gpu_counts,
                                 const std::vector<SolverSeries>& series,
                                 const std::vector<std::vector<parallel::ModeledSolverResult>>&
@@ -164,6 +213,11 @@ inline void record_metrics(BenchJson& json, const trace::Metrics& m) {
   json.field("halo_bytes", static_cast<double>(m.halo_bytes));
   json.field("messages", static_cast<double>(m.messages));
   json.field("retries", static_cast<double>(m.retries));
+  // delivered wire traffic split by interconnect link class (numeric, so
+  // topology knobs show up as value deltas on stable point keys)
+  json.field("shm_bytes", static_cast<double>(m.shm_bytes));
+  json.field("ib_bytes", static_cast<double>(m.ib_bytes));
+  json.field("xswitch_bytes", static_cast<double>(m.xswitch_bytes));
   json.field("comm_us", m.comm_us);
   json.field("overlapped_comm_us", m.overlapped_us);
   json.field("overlap_efficiency", m.overlap_efficiency);
@@ -191,6 +245,31 @@ inline void record_critpath(BenchJson& json, const trace::CritSummary& c) {
   json.field("whatif_zero_latency_us", c.whatif_zero_latency_us);
   json.field("whatif_free_pcie_us", c.whatif_free_pcie_us);
   json.field("whatif_infinite_overlap_us", c.whatif_infinite_overlap_us);
+}
+
+// record one grid-decomposed point; the "grid" string joins the point
+// identity so per-dimension sweeps at equal GPU counts stay distinct keys
+inline void record_grid_point(BenchJson& json, const char* table, const SolverSeries& series,
+                              const comm::GridTopology& topo,
+                              const parallel::ModeledSolverResult& r) {
+  json.point();
+  json.field("table", table);
+  json.field("series", series.label);
+  json.field("grid", grid_label(topo));
+  json.field("gpus", static_cast<double>(topo.num_ranks()));
+  if (series.recon) json.field("recon", to_string(*series.recon));
+  if (series.recon_sloppy) json.field("recon_sloppy", to_string(*series.recon_sloppy));
+  json.field("fits", static_cast<double>(r.fits));
+  json.field("footprint_bytes", static_cast<double>(r.footprint_bytes));
+  json.field("gauge_footprint_bytes", static_cast<double>(r.gauge_footprint_bytes));
+  if (r.fits) {
+    json.field("gflops", r.effective_gflops);
+    json.field("time_us", r.time_us);
+    if (r.traced) {
+      record_metrics(json, r.metrics);
+      record_critpath(json, r.critpath);
+    }
+  }
 }
 
 // record one scaling table's results as JSON points (one per series x count)

@@ -19,7 +19,9 @@
 #include "lattice/gauge_field.h"
 #include "lattice/geometry.h"
 #include "lattice/precision.h"
+#include "sim/cluster_spec.h"
 
+#include <cmath>
 #include <cstdint>
 
 namespace quda::perf {
@@ -138,6 +140,42 @@ inline int face_copy_blocks(Precision p) {
 
 // received faces go up in a single copy (plus norms in half)
 inline int ghost_upload_copies(Precision p) { return p == Precision::Half ? 2 : 1; }
+
+// --- modeled wire costs (hierarchical interconnect aware) ---------------------
+
+// Wire time of one point-to-point message under the spec's interconnect:
+// same-node shm, one-hop IB, or the cross-switch fat-tree path with its
+// deterministic oversubscription charge.  Flat specs (the default) reduce
+// to NetworkModel::transfer_time_us bit-for-bit.
+inline double comm_path_us(const sim::ClusterSpec& spec, int src, int dst,
+                           std::int64_t bytes) {
+  return spec.path_time_us(src, dst, bytes);
+}
+
+// Per-step cost of the modeled recursive-doubling allreduce: every step is
+// one small-message IB exchange plus the host-side MPI call overhead.
+inline double allreduce_step_us(const sim::ClusterSpec& spec) {
+  return spec.net.ib_latency_us + spec.net.mpi_overhead_us;
+}
+
+// Total modeled latency of an n-rank allreduce after the last arrival:
+// ceil(log2 n) recursive-doubling steps, plus -- on hierarchical clusters --
+// one up-and-down traversal of the switch tree (the steps that cross leaf
+// switches pay the extra hops).  Flat clusters reproduce the historical
+// steps * step cost bit-for-bit.
+inline double allreduce_tree_cost_us(const sim::ClusterSpec& spec) {
+  const int n = spec.num_ranks();
+  int steps = 0;
+  while ((1 << steps) < n) ++steps;
+  double cost = static_cast<double>(steps) * allreduce_step_us(spec);
+  const int num_switches = spec.num_switches();
+  if (num_switches > 1) {
+    int switch_steps = 0;
+    while ((1 << switch_steps) < num_switches) ++switch_steps;
+    cost += static_cast<double>(switch_steps) * 2.0 * spec.interconnect.switch_hop_us;
+  }
+  return cost;
+}
 
 // effective flop count for reporting, per matrix application (Section
 // VII-A's metric)

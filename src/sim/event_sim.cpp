@@ -1,15 +1,12 @@
 #include "sim/event_sim.h"
 
-#include "core/wallclock.h"
+#include "perfmodel/costs.h"
 #include "trace/trace_export.h"
 
 #include <algorithm>
-#include <chrono>
-#include <cmath>
 #include <cstdlib>
 #include <exception>
 #include <stdexcept>
-#include <thread>
 
 namespace quda::sim {
 
@@ -50,7 +47,7 @@ void RankContext::enter_recovery() {
       cluster_.terminal_[static_cast<std::size_t>(rank_)] = 1;
   }
   // cascade: peers blocked on this rank re-check their terminal conditions
-  cluster_.cv_.notify_all();
+  cluster_.sched_->wake_all();
 }
 
 RecoveryEpoch RankContext::recovery_rendezvous() {
@@ -86,7 +83,8 @@ RecoveryEpoch RankContext::recovery_rendezvous() {
     cluster_.channels_.clear();
     auto& red = cluster_.red_;
     red.arrived = 0;
-    red.sum.clear();
+    red.width = -1;
+    for (auto& slot : red.contrib) slot.clear();
     red.max_time = 0;
     red.max_rank = -1;
     std::fill(red.arrived_mask.begin(), red.arrived_mask.end(), std::uint8_t{0});
@@ -95,11 +93,10 @@ RecoveryEpoch RankContext::recovery_rendezvous() {
     rec.arrived = 0;
     rec.max_arrival = 0;
     ++rec.generation;
-    cluster_.cv_.notify_all();
+    cluster_.sched_->wake_all();
   } else {
-    cluster_.cv_.wait(lock, [&]() QUDA_REQUIRES(cluster_.mutex_) {
-      return cluster_.aborted_ || rec.generation != my_generation;
-    });
+    while (!(cluster_.aborted_ || rec.generation != my_generation))
+      (void)cluster_.sched_->wait_transport(lock, 0);
     if (rec.generation == my_generation) {
       if (cluster_.abort_kind_ == VirtualCluster::AbortKind::Timeout)
         throw CommTimeout("peer rank raised CommTimeout during recovery");
@@ -169,7 +166,7 @@ RankContext::SendStatus RankContext::isend(int dst, int tag, std::vector<std::by
     core::MutexLock lock(cluster_.mutex_);
     cluster_.channels_[{rank_, dst, tag}].queue.push_back(std::move(m));
   }
-  cluster_.cv_.notify_all();
+  cluster_.sched_->wake_all();
   clock_.advance(spec_.net.mpi_overhead_us);
   return status;
 }
@@ -182,7 +179,7 @@ void RankContext::post_send_failure(int dst, int tag) {
     core::MutexLock lock(cluster_.mutex_);
     cluster_.channels_[{rank_, dst, tag}].queue.push_back(std::move(m));
   }
-  cluster_.cv_.notify_all();
+  cluster_.sched_->wake_all();
 }
 
 void RankContext::raise_timeout(const std::string& what) {
@@ -235,20 +232,15 @@ RecvHandle RankContext::wait(PendingRecv& pending, double wall_timeout_ms) {
           throw CommTimeout("peer rank raised CommTimeout during recv");
         throw std::runtime_error("peer rank aborted during recv");
       }
-      if (wall_timeout_ms > 0) {
-        // the watchdog is the one place real time enters the simulator, and
-        // it routes through the allowlisted (and test-injectable) shim
-        const auto deadline =
-            core::now_for_watchdog() +
-            std::chrono::microseconds(static_cast<std::int64_t>(wall_timeout_ms * 1e3));
-        if (cluster_.cv_.wait_until(lock, deadline) == std::cv_status::timeout &&
-            chan.queue.empty() && !cluster_.aborted_ && cluster_.deaths_.empty()) {
-          lock.unlock();
-          raise_timeout("wall-clock timeout waiting for message from rank " +
-                        std::to_string(pending.src));
-        }
-      } else {
-        cluster_.cv_.wait(lock);
+      // park on the scheduler: under threads this is the condvar (with the
+      // wall-clock watchdog when armed); under seq the fiber yields to the
+      // event loop, and "timed out" is its deterministic equivalent --
+      // every rank parked with no wakeup pending
+      if (cluster_.sched_->wait_transport(lock, wall_timeout_ms) && chan.queue.empty() &&
+          !cluster_.aborted_ && cluster_.deaths_.empty()) {
+        lock.unlock();
+        raise_timeout("wall-clock timeout waiting for message from rank " +
+                      std::to_string(pending.src));
       }
     }
     if (chan.queue.front().failed) {
@@ -260,19 +252,22 @@ RecvHandle RankContext::wait(PendingRecv& pending, double wall_timeout_ms) {
     h.msg_ = std::move(chan.queue.front());
     chan.queue.pop_front();
   }
+  // interconnect-aware wire time: same-node shm, one-hop IB, or the
+  // cross-switch fat-tree path (flat specs reproduce the historical
+  // NetworkModel::transfer_time_us bit-for-bit)
   const double path =
-      spec_.net.transfer_time_us(h.msg_.modeled_bytes, spec_.same_node(pending.src, rank_),
-                                 spec_.good_numa_binding) *
-      h.msg_.delay_factor;
+      perf::comm_path_us(spec_, pending.src, rank_, h.msg_.modeled_bytes) * h.msg_.delay_factor;
   h.arrival_us_ = std::max(h.msg_.send_time_us, pending.post_time_us) + path;
   clock_.now_us = std::max(clock_.now_us, h.arrival_us_);
   clock_.advance(spec_.net.mpi_overhead_us);
   if (tracer_.enabled()) {
-    // the message's in-flight window on the comm track, and the host-side
-    // blocking window of the wait itself; the wait carries the
-    // happens-before edge back to the sender (send time + network path)
+    // the message's in-flight window on the comm track (tagged with the
+    // link class it crossed), and the host-side blocking window of the wait
+    // itself; the wait carries the happens-before edge back to the sender
+    // (send time + network path)
     tracer_.span(trace::Cat::Comm, "msg_flight", trace::kTrackComm, h.msg_.send_time_us,
                  h.arrival_us_, h.msg_.modeled_bytes, pending.src, pending.tag);
+    tracer_.link(static_cast<int>(spec_.link_class(pending.src, rank_)));
     tracer_.span(trace::Cat::Comm, "mpi_wait", trace::kTrackHost, wait_begin_us, clock_.now_us,
                  h.msg_.modeled_bytes, pending.src, pending.tag);
     tracer_.dep(pending.src, h.msg_.send_time_us, path);
@@ -291,10 +286,10 @@ void RankContext::allreduce_sum(double* values, int count) {
   if (n == 1) return;
   const double reduce_begin_us = clock_.now_us;
 
-  // tree reduction: ceil(log2 N) network steps after the last rank arrives
-  const int steps = static_cast<int>(std::ceil(std::log2(static_cast<double>(n))));
-  const double step_cost =
-      spec_.net.ib_latency_us + spec_.net.mpi_overhead_us; // small payload per step
+  // tree reduction: ceil(log2 N) network steps after the last rank arrives,
+  // plus the switch-tree traversal surcharge on hierarchical interconnects
+  // (flat specs reproduce the historical steps * step cost bit-for-bit)
+  const double tree_cost = perf::allreduce_tree_cost_us(spec_);
 
   // raised when a terminal rank can never arrive at this generation; which
   // terminal rank we name is informational only (never fed into timing or
@@ -320,10 +315,14 @@ void RankContext::allreduce_sum(double* values, int count) {
   if (red.arrived_mask.size() != static_cast<std::size_t>(n))
     red.arrived_mask.assign(static_cast<std::size_t>(n), 0);
   if (cluster_.reduction_blocked_by_failure()) raise_rank_failure();
-  if (red.sum.empty()) red.sum.assign(static_cast<std::size_t>(count), 0.0);
-  if (std::int64_t(red.sum.size()) != count)
+  if (red.width < 0) red.width = count;
+  if (red.width != count)
     throw std::logic_error("mismatched allreduce vector lengths across ranks");
-  for (int i = 0; i < count; ++i) red.sum[static_cast<std::size_t>(i)] += values[i];
+  if (red.contrib.size() != static_cast<std::size_t>(n))
+    red.contrib.assign(static_cast<std::size_t>(n), {});
+  // park this rank's contribution in its slot; the completing arrival folds
+  // the slots in rank order, so the sum never depends on arrival order
+  red.contrib[static_cast<std::size_t>(rank_)].assign(values, values + count);
   red.arrived_mask[static_cast<std::size_t>(rank_)] = 1;
   // track the gating rank (argmax arrival, ties to the lowest rank so the
   // record is deterministic under any OS interleaving of equal clocks)
@@ -333,9 +332,15 @@ void RankContext::allreduce_sum(double* values, int count) {
     red.max_rank = rank_;
   }
   if (++red.arrived == n) {
-    red.result = std::move(red.sum);
-    red.sum.clear();
-    red.done_time = red.max_time + steps * step_cost;
+    // deterministic rank-order fold of the parked contributions
+    red.result.assign(static_cast<std::size_t>(count), 0.0);
+    for (int r = 0; r < n; ++r) {
+      const auto& slot = red.contrib[static_cast<std::size_t>(r)];
+      for (int i = 0; i < count; ++i) red.result[static_cast<std::size_t>(i)] += slot[i];
+    }
+    for (auto& slot : red.contrib) slot.clear();
+    red.width = -1;
+    red.done_time = red.max_time + tree_cost;
     red.done_gate_time = red.max_time;
     red.done_gate_rank = red.max_rank;
     red.max_time = 0;
@@ -343,12 +348,11 @@ void RankContext::allreduce_sum(double* values, int count) {
     red.arrived = 0;
     std::fill(red.arrived_mask.begin(), red.arrived_mask.end(), std::uint8_t{0});
     ++red.generation;
-    cluster_.cv_.notify_all();
+    cluster_.sched_->wake_all();
   } else {
-    cluster_.cv_.wait(lock, [&]() QUDA_REQUIRES(cluster_.mutex_) {
-      return cluster_.aborted_ || red.generation != my_generation ||
-             cluster_.reduction_blocked_by_failure();
-    });
+    while (!(cluster_.aborted_ || red.generation != my_generation ||
+             cluster_.reduction_blocked_by_failure()))
+      (void)cluster_.sched_->wait_transport(lock, 0);
     if (red.generation == my_generation) {
       // a generation that can never complete aborts with *no* collective
       // span recorded on any participant, keeping the per-rank collective
@@ -365,7 +369,7 @@ void RankContext::allreduce_sum(double* values, int count) {
                clock_.now_us, static_cast<std::int64_t>(count) * 8);
   // rendezvous edge: the rank whose (latest) arrival gated this generation,
   // its arrival time, and the tree-reduction cost on top of it
-  tracer_.dep(red.done_gate_rank, red.done_gate_time, steps * step_cost);
+  tracer_.dep(red.done_gate_rank, red.done_gate_time, tree_cost);
 }
 
 void RankContext::barrier() {
@@ -380,7 +384,7 @@ void VirtualCluster::register_death(int rank, DeathKind kind, double time_us) {
     if (rank < static_cast<int>(terminal_.size()))
       terminal_[static_cast<std::size_t>(rank)] = 1;
   }
-  cv_.notify_all();
+  sched_->wake_all();
 }
 
 bool VirtualCluster::reduction_blocked_by_failure() const {
@@ -397,11 +401,14 @@ void VirtualCluster::poison(AbortKind kind) {
       abort_kind_ = kind;
     }
   }
-  cv_.notify_all();
+  sched_->wake_all();
 }
 
 void VirtualCluster::run(const std::function<void(RankContext&)>& fn) {
   const int n = spec_.num_ranks();
+  const SchedulerKind kind = resolve_scheduler(spec_.scheduler);
+  if (kind == SchedulerKind::Threads && n > threads_scheduler_capacity())
+    throw SchedulerCapacityError(n, threads_scheduler_capacity());
   {
     core::MutexLock lock(mutex_);
     aborted_ = false;
@@ -409,9 +416,15 @@ void VirtualCluster::run(const std::function<void(RankContext&)>& fn) {
     channels_.clear();
     deaths_.clear();
     terminal_.assign(static_cast<std::size_t>(n), 0);
+    red_.arrived = 0;
+    red_.width = -1;
+    for (auto& slot : red_.contrib) slot.clear();
+    red_.max_time = 0;
+    red_.max_rank = -1;
     red_.arrived_mask.assign(static_cast<std::size_t>(n), 0);
     recovery_ = RecoverySync{};
   }
+  sched_ = make_scheduler(kind, mutex_, cv_);
   // tracing turns on via the spec or the QUDA_SIM_TRACE environment variable
   // (whose value doubles as the Chrome JSON export path)
   const char* env_trace = std::getenv("QUDA_SIM_TRACE");
@@ -425,46 +438,47 @@ void VirtualCluster::run(const std::function<void(RankContext&)>& fn) {
   if (trace_on)
     for (auto& c : contexts) c->tracer().set_enabled(true);
 
-  std::vector<std::thread> threads;
+  std::vector<RankContext*> rank_ptrs;
+  rank_ptrs.reserve(static_cast<std::size_t>(n));
+  for (auto& c : contexts) rank_ptrs.push_back(c.get());
+
   std::exception_ptr first_error;
   core::Mutex error_mutex;
 
-  threads.reserve(static_cast<std::size_t>(n));
-  for (int r = 0; r < n; ++r) {
-    threads.emplace_back([&, r] {
-      RankContext& ctx = *contexts[static_cast<std::size_t>(r)];
-      // bind the thread-local tracer so layers without RankContext access
-      // (the device model, the solvers) can emit; null keeps them silent
-      trace::ScopedTracer bind_tracer(trace_on ? &ctx.tracer() : nullptr);
-      try {
-        fn(ctx);
-      } catch (const CommTimeout&) {
-        {
-          core::MutexLock lock(error_mutex);
-          if (!first_error) first_error = std::current_exception();
-        }
-        poison(AbortKind::Timeout);
-      } catch (const RankDeath& d) {
-        // a death that escapes fn means no recovery handler was installed;
-        // surface it as a regular error rather than an opaque foreign type
-        {
-          core::MutexLock lock(error_mutex);
-          if (!first_error)
-            first_error = std::make_exception_ptr(std::runtime_error(
-                "rank " + std::to_string(d.rank) + " died (" + death_kind_name(d.kind) +
-                ") with no recovery handler installed"));
-        }
-        poison(AbortKind::Error);
-      } catch (...) {
-        {
-          core::MutexLock lock(error_mutex);
-          if (!first_error) first_error = std::current_exception();
-        }
-        poison(AbortKind::Error);
+  // The body every scheduler drives, once per rank: run fn and convert any
+  // escape into cluster poison + first-error capture.  Bodies never throw
+  // past the scheduler (the fiber/thread boundary).  The scheduler binds
+  // each rank's tracer as the thread-local trace::current() while that
+  // rank executes (per resume under seq).
+  const auto body = [&](RankContext& ctx) {
+    try {
+      fn(ctx);
+    } catch (const CommTimeout&) {
+      {
+        core::MutexLock lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
       }
-    });
-  }
-  for (auto& t : threads) t.join();
+      poison(AbortKind::Timeout);
+    } catch (const RankDeath& d) {
+      // a death that escapes fn means no recovery handler was installed;
+      // surface it as a regular error rather than an opaque foreign type
+      {
+        core::MutexLock lock(error_mutex);
+        if (!first_error)
+          first_error = std::make_exception_ptr(std::runtime_error(
+              "rank " + std::to_string(d.rank) + " died (" + death_kind_name(d.kind) +
+              ") with no recovery handler installed"));
+      }
+      poison(AbortKind::Error);
+    } catch (...) {
+      {
+        core::MutexLock lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+      poison(AbortKind::Error);
+    }
+  };
+  sched_->run(rank_ptrs, trace_on, body);
 
   // fault/recovery accounting survives even a failed run -- tests assert on
   // counters after catching CommTimeout
@@ -482,6 +496,8 @@ void VirtualCluster::run(const std::function<void(RankContext&)>& fn) {
   // what one wants when diagnosing a CommTimeout)
   trace_report_ = trace::TraceReport{};
   trace_report_.enabled = trace_on;
+  trace_report_.gpus_per_node = spec_.gpus_per_node;
+  trace_report_.nodes_per_switch = spec_.interconnect.nodes_per_switch;
   if (trace_on) {
     trace_report_.per_rank.reserve(static_cast<std::size_t>(n));
     for (auto& c : contexts) trace_report_.per_rank.push_back(c->tracer().take_events());
@@ -489,6 +505,7 @@ void VirtualCluster::run(const std::function<void(RankContext&)>& fn) {
       trace::write_chrome_trace(trace::unique_trace_path(trace_path), trace_report_);
   }
 
+  sched_.reset();
   if (first_error) std::rethrow_exception(first_error);
   channels_.clear();
 }

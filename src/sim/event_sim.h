@@ -1,12 +1,16 @@
 #pragma once
 // Conservative discrete-event simulation of an SPMD message-passing program.
 //
-// One OS thread runs per simulated rank, executing *real* program logic
-// (including real numerics when desired).  Each rank owns a SimClock; local
-// work advances it by modeled durations.  Ranks interact only through the
-// message channels and collective operations below, whose completion times
-// are pure functions of the participants' clocks and the network model --
-// so simulated timings are deterministic regardless of OS scheduling.
+// Each simulated rank executes *real* program logic (including real
+// numerics when desired) under a pluggable RankScheduler (sim/scheduler.h):
+// one OS thread per rank (`threads`, the default) or one cooperative event
+// loop resuming stackful fibers (`seq`, which scales to O(1000) ranks).
+// Each rank owns a SimClock; local work advances it by modeled durations.
+// Ranks interact only through the message channels and collective
+// operations below, whose completion times are pure functions of the
+// participants' clocks and the network model -- so simulated timings are
+// deterministic regardless of OS scheduling, and bit-identical across the
+// two schedulers (tests/test_scheduler_equivalence.cpp).
 //
 // Semantics mirror the MPI subset that QMP exposes and the paper uses:
 // point-to-point non-blocking send/receive with handles, and all-reduce.
@@ -24,6 +28,7 @@
 #include "gpusim/device.h"
 #include "sim/cluster_spec.h"
 #include "sim/fault_model.h"
+#include "sim/scheduler.h"
 #include "trace/trace.h"
 
 #include <cstddef>
@@ -158,7 +163,10 @@ public:
 
   // all-reduce an elementwise sum across all ranks (one rendezvous for the
   // whole vector, as a fused MPI_Allreduce); completes at
-  //   max_i(t_i) + ceil(log2 N) * tree step cost
+  //   max_i(t_i) + perf::allreduce_tree_cost_us(spec)
+  // (ceil(log2 N) tree steps, plus the switch-tree traversal surcharge on
+  // hierarchical interconnects).  Contributions are folded in rank order,
+  // so the result is bit-stable under any scheduler/interleaving.
   void allreduce_sum(double* values, int count);
   double allreduce_sum(double value) {
     allreduce_sum(&value, 1);
@@ -200,7 +208,10 @@ public:
 
   const ClusterSpec& spec() const { return spec_; }
 
-  // run fn on every rank (one thread each); rethrows the first exception
+  // Run fn on every rank under the spec's scheduler (threads: one OS thread
+  // each; seq: one cooperative event loop); rethrows the first exception.
+  // Raises SchedulerCapacityError when the resolved scheduler is `threads`
+  // and the rank count exceeds threads_scheduler_capacity().
   void run(const std::function<void(RankContext&)>& fn);
 
   // maximum simulated completion time over all ranks of the last run()
@@ -258,9 +269,14 @@ private:
   // deterministic under any OS interleaving -- is latched per generation so
   // every participant can record the rendezvous edge for the critical-path
   // walk (trace/critpath.h).
+  // Per-rank contribution slots, folded into the result in ascending rank
+  // order by the completing arrival -- the sum is a pure function of the
+  // contributions, never of OS arrival order, which is what makes Real-mode
+  // results bit-identical across schedulers and thread budgets.
   struct Reduction {
     int arrived = 0;
-    std::vector<double> sum;
+    int width = -1; // element count of the in-flight generation (-1: none)
+    std::vector<std::vector<double>> contrib; // indexed by rank
     double max_time = 0;
     int max_rank = -1;
     std::vector<double> result;
@@ -287,6 +303,13 @@ private:
     std::int64_t generation = 0;
     RecoveryEpoch last; // published by the completing arrival
   } recovery_ QUDA_GUARDED_BY(mutex_);
+
+  // Execution engine of the current run() (threads or seq, resolved from
+  // ClusterSpec::scheduler / QUDA_SIM_SCHED).  Created at run() entry and
+  // torn down at exit; stable for the whole run, so ranks dereference it
+  // without holding mutex_ (only wait_transport's internals touch shared
+  // scheduler state, under their own discipline).
+  std::unique_ptr<RankScheduler> sched_;
 
   double makespan_us_ = 0;
   FaultCounters fault_totals_;

@@ -1,0 +1,272 @@
+#include "sim/scheduler.h"
+
+#include "core/wallclock.h"
+#include "sim/event_sim.h"
+#include "trace/trace.h"
+
+#include <sys/mman.h>
+#include <ucontext.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+namespace quda::sim {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// threads: one OS thread per rank, parked on the cluster condvar
+
+class ThreadsScheduler final : public RankScheduler {
+public:
+  ThreadsScheduler(core::Mutex& mutex, core::CondVar& cv) : mutex_(mutex), cv_(cv) {}
+
+  void run(const std::vector<RankContext*>& ranks, bool trace_on,
+           const std::function<void(RankContext&)>& body) override {
+    std::vector<std::thread> threads;
+    threads.reserve(ranks.size());
+    for (RankContext* ctx : ranks) {
+      threads.emplace_back([ctx, trace_on, &body] {
+        // bind the thread-local tracer so layers without RankContext access
+        // (the device model, the solvers) can emit; null keeps them silent
+        trace::ScopedTracer bind_tracer(trace_on ? &ctx->tracer() : nullptr);
+        body(*ctx);
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+
+  bool wait_transport(core::MutexLock& lock, double wall_timeout_ms) override {
+    if (wall_timeout_ms <= 0) {
+      cv_.wait(lock);
+      return false;
+    }
+    // the watchdog is the one place real time enters the simulator, and it
+    // routes through the allowlisted (and test-injectable) shim
+    const auto deadline =
+        core::now_for_watchdog() +
+        std::chrono::microseconds(static_cast<std::int64_t>(wall_timeout_ms * 1e3));
+    return cv_.wait_until(lock, deadline) == std::cv_status::timeout;
+  }
+
+  void wake_all() override { cv_.notify_all(); }
+
+private:
+  core::Mutex& mutex_;
+  core::CondVar& cv_;
+};
+
+// ---------------------------------------------------------------------------
+// seq: a single event loop resuming stackful (ucontext) fibers in
+// deterministic (clock, rank) order
+
+class SeqScheduler final : public RankScheduler {
+public:
+  void run(const std::vector<RankContext*>& ranks, bool trace_on,
+           const std::function<void(RankContext&)>& body) override;
+  bool wait_transport(core::MutexLock& lock, double wall_timeout_ms) override;
+  void wake_all() override;
+
+private:
+  struct Fiber {
+    enum class State { Runnable, Parked, Done };
+    enum class Wake { Notified, TimedOut, Deadlock };
+
+    RankContext* ctx = nullptr;
+    ucontext_t uc{};
+    void* map = nullptr; // guard page + stack, unmapped on teardown
+    std::size_t map_bytes = 0;
+    State state = State::Runnable;
+    Wake wake = Wake::Notified;
+    bool watchdog = false; // parked caller armed a wall-timeout fallback
+  };
+
+  // 1 MiB of lazily committed stack per fiber (plus one guard page): the
+  // rank bodies keep bulk data on the heap, and virtual address space is
+  // the only per-rank cost until a page is touched
+  static constexpr std::size_t kStackBytes = std::size_t{1} << 20;
+
+  static void trampoline(unsigned hi, unsigned lo);
+  void resume(Fiber& f, bool trace_on);
+  Fiber* pick_runnable();
+  void unpark_deterministically();
+
+  std::vector<std::unique_ptr<Fiber>> fibers_;
+  const std::function<void(RankContext&)>* body_ = nullptr;
+  ucontext_t loop_uc_{};
+  Fiber* current_ = nullptr;
+};
+
+void SeqScheduler::trampoline(unsigned hi, unsigned lo) {
+  // makecontext only passes ints; the scheduler pointer rides in two halves
+  auto* self = reinterpret_cast<SeqScheduler*>(
+      (static_cast<std::uintptr_t>(hi) << 32) | static_cast<std::uintptr_t>(lo));
+  Fiber& f = *self->current_;
+  (*self->body_)(*f.ctx); // the body wrapper catches everything
+  f.state = Fiber::State::Done;
+  // returning setcontext()s uc_link, i.e. the event loop's saved context
+}
+
+void SeqScheduler::resume(Fiber& f, bool trace_on) {
+  current_ = &f;
+  // rebind the thread-local tracer per resume: every fiber shares this OS
+  // thread, so the binding must follow the fiber, not the thread
+  trace::ScopedTracer bind_tracer(trace_on ? &f.ctx->tracer() : nullptr);
+  swapcontext(&loop_uc_, &f.uc);
+  current_ = nullptr;
+}
+
+SeqScheduler::Fiber* SeqScheduler::pick_runnable() {
+  // the runnable fiber with the smallest (simulated clock, rank): execution
+  // order is a pure function of simulation state, with rank as the
+  // deterministic tie-break (iteration order is ascending rank)
+  Fiber* best = nullptr;
+  for (auto& f : fibers_) {
+    if (f->state != Fiber::State::Runnable) continue;
+    if (best == nullptr || f->ctx->clock().now_us < best->ctx->clock().now_us) best = f.get();
+  }
+  return best;
+}
+
+void SeqScheduler::unpark_deterministically() {
+  // Every live fiber is parked, so no wakeup can ever arrive.  Fire the
+  // lowest-ranked watchdogged fiber as TimedOut (it re-checks its channel
+  // and raises the same CommTimeout the threads watchdog would); with no
+  // watchdog armed anywhere this is a true deadlock -- unpark the
+  // lowest-ranked fiber with Deadlock status, which throws on resume.
+  Fiber* victim = nullptr;
+  for (auto& f : fibers_) {
+    if (f->state != Fiber::State::Parked) continue;
+    if (victim == nullptr) victim = f.get();
+    if (f->watchdog) {
+      victim = f.get();
+      break;
+    }
+  }
+  victim->wake = victim->watchdog ? Fiber::Wake::TimedOut : Fiber::Wake::Deadlock;
+  victim->state = Fiber::State::Runnable;
+}
+
+void SeqScheduler::run(const std::vector<RankContext*>& ranks, bool trace_on,
+                       const std::function<void(RankContext&)>& body) {
+  body_ = &body;
+  const long page = ::sysconf(_SC_PAGESIZE);
+  const std::size_t guard = page > 0 ? static_cast<std::size_t>(page) : 4096;
+
+  fibers_.clear();
+  fibers_.reserve(ranks.size());
+  for (RankContext* ctx : ranks) {
+    auto f = std::make_unique<Fiber>();
+    f->ctx = ctx;
+    f->map_bytes = guard + kStackBytes;
+    f->map = ::mmap(nullptr, f->map_bytes, PROT_NONE, MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (f->map == MAP_FAILED)
+      throw std::runtime_error("seq scheduler: mmap of a fiber stack failed");
+    // stacks grow downward: the guard page sits at the low end of the map
+    if (::mprotect(static_cast<char*>(f->map) + guard, kStackBytes,
+                   PROT_READ | PROT_WRITE) != 0) {
+      ::munmap(f->map, f->map_bytes);
+      throw std::runtime_error("seq scheduler: mprotect of a fiber stack failed");
+    }
+    if (::getcontext(&f->uc) != 0)
+      throw std::runtime_error("seq scheduler: getcontext failed");
+    f->uc.uc_stack.ss_sp = static_cast<char*>(f->map) + guard;
+    f->uc.uc_stack.ss_size = kStackBytes;
+    f->uc.uc_link = &loop_uc_;
+    const auto self = reinterpret_cast<std::uintptr_t>(this);
+    ::makecontext(&f->uc, reinterpret_cast<void (*)()>(&SeqScheduler::trampoline), 2,
+                  static_cast<unsigned>(self >> 32), static_cast<unsigned>(self & 0xffffffffu));
+    fibers_.push_back(std::move(f));
+  }
+
+  for (;;) {
+    Fiber* next = pick_runnable();
+    if (next == nullptr) {
+      bool all_done = true;
+      for (auto& f : fibers_)
+        if (f->state != Fiber::State::Done) all_done = false;
+      if (all_done) break;
+      unpark_deterministically();
+      continue;
+    }
+    resume(*next, trace_on);
+  }
+
+  for (auto& f : fibers_)
+    if (f->map != nullptr) ::munmap(f->map, f->map_bytes);
+  fibers_.clear();
+  body_ = nullptr;
+}
+
+bool SeqScheduler::wait_transport(core::MutexLock& lock, double wall_timeout_ms) {
+  Fiber& f = *current_;
+  f.state = Fiber::State::Parked;
+  f.watchdog = wall_timeout_ms > 0;
+  f.wake = Fiber::Wake::Notified;
+  // the transport lock is uncontended on this single thread, but the
+  // unlock/relock pair keeps the lock discipline identical to threads mode
+  lock.unlock();
+  swapcontext(&f.uc, &loop_uc_);
+  lock.lock();
+  f.watchdog = false;
+  if (f.wake == Fiber::Wake::Deadlock)
+    throw std::runtime_error(
+        "simulated deadlock: every rank is parked with no wakeup pending (seq scheduler)");
+  return f.wake == Fiber::Wake::TimedOut;
+}
+
+void SeqScheduler::wake_all() {
+  for (auto& f : fibers_) {
+    if (f->state == Fiber::State::Parked) {
+      f->state = Fiber::State::Runnable;
+      f->wake = Fiber::Wake::Notified;
+    }
+  }
+}
+
+} // namespace
+
+const char* scheduler_name(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::Threads: return "threads";
+    case SchedulerKind::Seq: return "seq";
+    case SchedulerKind::Auto: break;
+  }
+  return "auto";
+}
+
+SchedulerKind resolve_scheduler(SchedulerKind requested) {
+  if (requested != SchedulerKind::Auto) return requested;
+  const char* env = std::getenv("QUDA_SIM_SCHED");
+  if (env == nullptr || env[0] == '\0') return SchedulerKind::Threads;
+  if (std::strcmp(env, "threads") == 0) return SchedulerKind::Threads;
+  if (std::strcmp(env, "seq") == 0) return SchedulerKind::Seq;
+  throw std::invalid_argument(std::string("QUDA_SIM_SCHED=") + env +
+                              " is not a rank scheduler (expected threads|seq)");
+}
+
+int threads_scheduler_capacity() {
+  // 512 threads is comfortably inside Linux defaults; past that the seq
+  // scheduler is both safer and faster.  The override exists mainly so
+  // tests can shrink the limit without spawning hundreds of threads.
+  if (const char* env = std::getenv("QUDA_SIM_MAX_RANK_THREADS")) {
+    const int v = std::atoi(env);
+    if (v >= 1) return v;
+  }
+  return 512;
+}
+
+std::unique_ptr<RankScheduler> make_scheduler(SchedulerKind kind, core::Mutex& mutex,
+                                              core::CondVar& cv) {
+  switch (kind) {
+    case SchedulerKind::Seq: return std::make_unique<SeqScheduler>();
+    case SchedulerKind::Threads:
+    case SchedulerKind::Auto: break;
+  }
+  return std::make_unique<ThreadsScheduler>(mutex, cv);
+}
+
+} // namespace quda::sim

@@ -69,6 +69,16 @@ Metrics compute_metrics(const TraceReport& report) {
         }
         continue;
       }
+      if (e.track == kTrackComm && std::strcmp(e.name, "msg_flight") == 0) {
+        // delivered wire bytes by link class (sim::LinkClass numeric values)
+        if (e.link == 0) {
+          m.shm_bytes += e.bytes;
+        } else if (e.link == 1) {
+          m.ib_bytes += e.bytes;
+        } else if (e.link == 2) {
+          m.xswitch_bytes += e.bytes;
+        }
+      }
       if (e.cat == Cat::Kernel && e.track >= 0) {
         m.kernel_us += e.dur_us;
         m.kernels[e.name].add(e.dur_us);

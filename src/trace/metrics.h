@@ -45,6 +45,11 @@ struct Metrics {
   long halo_bytes = 0;      // modeled bytes across all isends
   long retries = 0;         // reliable-layer retransmissions
   long checksum_errors = 0; // corrupt frames detected on receive
+  // delivered wire traffic split by link class (msg_flight events tagged by
+  // the transport; all zero on pre-hierarchy traces with untagged flights)
+  long shm_bytes = 0;     // same-node shared-memory deliveries
+  long ib_bytes = 0;      // one-hop InfiniBand deliveries
+  long xswitch_bytes = 0; // cross-leaf-switch fat-tree deliveries
   double comm_us = 0;       // sum over ranks of union of halo_comm windows
   double overlapped_us = 0; // portion of comm_us covered by kernel spans
   double overlap_efficiency = 0; // overlapped_us / comm_us (0 when no comm)

@@ -77,6 +77,12 @@ struct Event {
   int dep_rank = -1;
   double dep_ts_us = -1;
   double edge_us = 0;
+
+  // Link class the payload crossed (msg_flight events): the numeric value
+  // of sim::LinkClass (0 = shm, 1 = ib, 2 = cross-switch), -1 when not a
+  // wire event.  Excluded from sequence_digest: it is derived from cluster
+  // topology, not pipeline structure, so goldens survive topology sweeps.
+  int link = -1;
 };
 
 // Per-rank event sink.  Bound to the rank's clock so layers without clock
@@ -138,6 +144,13 @@ public:
     e.edge_us = edge_us;
   }
 
+  // tag the most recently recorded event with the link class its payload
+  // crossed (msg_flight spans; the transport knows the class at emit time)
+  void link(int link_class) {
+    if (!enabled_ || events_.empty()) return;
+    events_.back().link = link_class;
+  }
+
   const std::vector<Event>& events() const { return events_; }
   std::vector<Event> take_events() { return std::move(events_); }
   void clear() { events_.clear(); }
@@ -176,6 +189,10 @@ struct TraceOptions {
 struct TraceReport {
   std::vector<std::vector<Event>> per_rank;
   bool enabled = false;
+  // node/switch topology of the run that produced the trace, so exporters
+  // and lint can classify ranks into nodes and leaf switches
+  int gpus_per_node = 1;
+  int nodes_per_switch = 0; // 0 = flat single-switch network
 
   std::size_t total_events() const {
     std::size_t n = 0;

@@ -61,7 +61,8 @@ void append_event(std::string& out, int pid, const Event& e, bool& first) {
   out += ", \"args\": {\"bytes\": " + std::to_string(e.bytes) +
          ", \"peer\": " + std::to_string(e.peer) + ", \"tag\": " + std::to_string(e.tag) +
          ", \"seq\": " + std::to_string(e.seq) + ", \"dep_rank\": " + std::to_string(e.dep_rank) +
-         ", \"dep_ts\": " + num(e.dep_ts_us) + ", \"edge_us\": " + num(e.edge_us) + "}}";
+         ", \"dep_ts\": " + num(e.dep_ts_us) + ", \"edge_us\": " + num(e.edge_us) +
+         ", \"link\": " + std::to_string(e.link) + "}}";
 }
 
 } // namespace
@@ -81,7 +82,9 @@ std::string chrome_trace_json(const TraceReport& report) {
   out += "\n],\n\"displayTimeUnit\": \"ms\",\n\"otherData\": {\"tool\": \"mgpu-quda sim tracer\", "
          "\"ranks\": " +
          std::to_string(report.per_rank.size()) + ", \"events\": " +
-         std::to_string(report.total_events()) + "}\n}\n";
+         std::to_string(report.total_events()) +
+         ", \"gpus_per_node\": " + std::to_string(report.gpus_per_node) +
+         ", \"nodes_per_switch\": " + std::to_string(report.nodes_per_switch) + "}\n}\n";
   return out;
 }
 

@@ -1,0 +1,133 @@
+// Pinned 256-rank golden run (DESIGN.md §12): a quick-lattice modeled
+// solve on a 4x4x4x4 process grid (256 simulated GPUs, global 16^4) under
+// the cooperative seq scheduler on the default fat-tree cluster.  The seq
+// scheduler makes rank count a parameter instead of an OS thread budget,
+// so this runs on one CPU in well under the suite timeout -- and because
+// the DES is conservative, every number below is a pure function of the
+// configuration.  The goldens pin:
+//
+//   - the simulated makespan, bitwise (the full hierarchical-interconnect
+//     cost model: intra-node shm, leaf-switch IB, cross-switch hops with
+//     oversubscription, and the switch-hop allreduce surcharge);
+//   - per-rank FNV-1a event-sequence digests (first, last, and a fold over
+//     all 256 ranks), pinning the pipeline structure at scale;
+//   - the critical-path walk: valid, closed at t = 0, path == makespan
+//     bitwise, category tiling exact;
+//   - the per-link-class traffic split (shm/ib/xswitch bytes), pinning the
+//     topology classification of every message.
+//
+// Any change to the scheduler, the interconnect model, or the halo pipeline
+// that moves the 256-rank timeline fails here loudly.  The exported trace
+// (trace_seq256_golden.json) is left on disk for tools/quick_gate.sh to
+// lint against tools/trace_schema.json.
+
+#include "exec/host_engine.h"
+#include "parallel/modeled_solver.h"
+#include "sim/event_sim.h"
+#include "trace/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace quda {
+namespace {
+
+constexpr const char* kTracePath = "trace_seq256_golden.json";
+
+// drop stale exports (the exporter appends .N suffixes rather than
+// overwrite, which would otherwise accumulate across local reruns)
+void scrub_trace_exports() {
+  std::remove(kTracePath);
+  for (int n = 1; n < 64; ++n)
+    std::remove((std::string(kTracePath) + "." + std::to_string(n)).c_str());
+}
+
+TEST(SeqGolden, Pinned256RankModeledSolve) {
+  exec::set_thread_budget(1); // goldens are budget-invariant; 1 is cheapest
+  scrub_trace_exports();
+
+  sim::ClusterSpec spec = sim::ClusterSpec::fat_tree(256);
+  spec.scheduler = sim::SchedulerKind::Seq;
+  spec.trace.enabled = true;
+  spec.trace.path = kTracePath;
+  sim::VirtualCluster cluster(spec);
+
+  parallel::ModeledSolverConfig cfg;
+  cfg.local = LatticeDims{4, 4, 4, 4}; // 16^4 global over the 4x4x4x4 grid
+  cfg.topology = comm::GridTopology{{4, 4, 4, 4}};
+  cfg.outer = Precision::Single;
+  cfg.sloppy = Precision::Half;
+  cfg.policy = CommPolicy::Overlap;
+  cfg.iterations = 5;
+  cfg.reliable_interval = 5;
+
+  const parallel::ModeledSolverResult r = parallel::run_modeled_solver(cluster, cfg);
+  ASSERT_TRUE(r.fits);
+  ASSERT_TRUE(r.traced);
+  ASSERT_EQ(cluster.trace().per_rank.size(), 256u);
+
+  // --- critical-path tiling --------------------------------------------------
+  ASSERT_TRUE(r.critpath.valid) << r.critpath.error;
+  EXPECT_EQ(r.critpath.path_us, r.critpath.makespan_us)
+      << "the walk must close at t = 0: path tiles [0, makespan] exactly";
+  EXPECT_EQ(r.critpath.makespan_us, cluster.makespan_us());
+  double cat_sum = 0;
+  for (int c = 0; c < trace::kNumPathCats; ++c) cat_sum += r.critpath.cat_us[c];
+  EXPECT_NEAR(cat_sum, r.critpath.path_us, 1e-6 * r.critpath.path_us)
+      << "attribution categories must tile the path";
+  EXPECT_GT(r.critpath.exposed_comm_us(), 0.0)
+      << "a 4^4 local volume is firmly communication-bound";
+
+  // --- pinned goldens --------------------------------------------------------
+  // regenerate by running with --gtest_also_run_disabled_tests and reading
+  // the printout below, after verifying the timeline change is intended
+  const double kGoldenMakespanUs = 81581.101610996702;
+  const std::uint64_t kGoldenDigestRank0 = 9794379416283240936ull;
+  const std::uint64_t kGoldenDigestRank255 = 16109566784602716260ull;
+  const std::uint64_t kGoldenDigestFold = 18162238263478380985ull;
+  const long kGoldenShmBytes = 6555648;
+  const long kGoldenIbBytes = 19666944;
+  const long kGoldenXswitchBytes = 26222592;
+
+  const auto& per_rank = cluster.trace().per_rank;
+  const std::uint64_t d0 = trace::sequence_digest(per_rank.front());
+  const std::uint64_t d255 = trace::sequence_digest(per_rank.back());
+  // FNV-1a fold of all 256 per-rank digests, so a change on *any* rank
+  // fails even if ranks 0/255 happen to keep their sequence
+  std::uint64_t fold = 1469598103934665603ull;
+  for (const auto& events : per_rank) {
+    std::uint64_t d = trace::sequence_digest(events);
+    for (int b = 0; b < 8; ++b) {
+      fold ^= (d >> (8 * b)) & 0xffull;
+      fold *= 1099511628211ull;
+    }
+  }
+
+  std::printf("SeqGolden: makespan %.17g digest0 %llu digest255 %llu fold %llu "
+              "shm %ld ib %ld xswitch %ld\n",
+              cluster.makespan_us(), static_cast<unsigned long long>(d0),
+              static_cast<unsigned long long>(d255),
+              static_cast<unsigned long long>(fold), r.metrics.shm_bytes,
+              r.metrics.ib_bytes, r.metrics.xswitch_bytes);
+
+  EXPECT_EQ(cluster.makespan_us(), kGoldenMakespanUs);
+  EXPECT_EQ(d0, kGoldenDigestRank0);
+  EXPECT_EQ(d255, kGoldenDigestRank255);
+  EXPECT_EQ(fold, kGoldenDigestFold);
+  // traffic split over the interconnect hierarchy: with 2 GPUs per node and
+  // 8 nodes per leaf switch, a 256-rank solve exercises all three classes
+  EXPECT_EQ(r.metrics.shm_bytes, kGoldenShmBytes);
+  EXPECT_EQ(r.metrics.ib_bytes, kGoldenIbBytes);
+  EXPECT_EQ(r.metrics.xswitch_bytes, kGoldenXswitchBytes);
+  EXPECT_GT(r.metrics.shm_bytes, 0);
+  EXPECT_GT(r.metrics.ib_bytes, 0);
+  EXPECT_GT(r.metrics.xswitch_bytes, 0);
+
+  exec::set_thread_budget(0); // back to the environment default
+}
+
+} // namespace
+} // namespace quda

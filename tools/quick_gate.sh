@@ -53,6 +53,20 @@ if [ "${#rf_traces[@]}" -eq 0 ]; then
 fi
 python3 tools/trace_lint.py "${rf_traces[@]}"
 
+# 256-rank seq-scheduler smoke: the pinned golden run (4x4x4x4 grid of
+# fibers on one event loop, fat-tree interconnect) plus the scheduler
+# selection/capacity unit tests; its exported 256-rank trace must pass the
+# link-class and topology rules in tools/trace_schema.json
+(cd "$BUILD/tests" && ./quda_tests \
+  --gtest_filter='SeqGolden.*:SchedulerCapacity.*:SchedulerResolve.*' \
+  > /dev/null)
+seq_traces=("$BUILD"/tests/trace_seq256_golden.json*)
+if [ "${#seq_traces[@]}" -eq 0 ]; then
+  echo "quick_gate: the 256-rank seq smoke produced no trace export" >&2
+  exit 1
+fi
+python3 tools/trace_lint.py "${seq_traces[@]}"
+
 # link-reconstruction smoke: the 8-real gauge path must round-trip, agree
 # with the 18-real dslash, and converge the recon-8 solve to the recon-12
 # residual (the full recon matrix runs in CI)

@@ -23,7 +23,12 @@ test suite relies on:
   * the rank-failure recovery contracts (DESIGN.md section 10) hold: on
     each rank every 'rank_failure' instant is answered by a 'rollback'
     span, and every two-phase 'checkpoint' span is closed by a
-    'ckpt_commit' span or a 'ckpt_abort' instant for the same iteration.
+    'ckpt_commit' span or a 'ckpt_abort' instant for the same iteration;
+  * the interconnect link classes (DESIGN.md section 12) are sound: every
+    msg_flight span's args.link matches the class derived from the
+    receiver (pid), the sender (args.peer), and the node/switch topology
+    in otherData (gpus_per_node, nodes_per_switch); every other event
+    carries link = -1.
 
 Usage: trace_lint.py [--schema tools/trace_schema.json] TRACE.json [...]
 Exit status 0 when every file is clean, 1 otherwise.
@@ -109,6 +114,44 @@ def check_dep_fields(ev, ranks, where, errors):
             errors.append(f"{where}: {name} span has negative edge weight {edge}")
 
 
+def check_link_fields(ev, gpus_per_node, nodes_per_switch, where, errors):
+    """Semantic check on args.link (sim::LinkClass): a delivered msg_flight
+    span must be classified, and the class must match the topology declared
+    in otherData -- same node -> 0 (shm), same leaf switch -> 1 (ib),
+    different leaves -> 2 (cross-switch).  Non-wire events carry -1."""
+    args = ev.get("args")
+    if not isinstance(args, dict) or "link" not in args:
+        return  # missing args/link already reported by the schema pass
+    link = args.get("link")
+    if not isinstance(link, int):
+        return  # type errors already reported by the schema pass
+    if ev.get("name") != "msg_flight" or ev.get("ph") != "X":
+        if link != -1:
+            errors.append(f"{where}: non-wire event {ev.get('name')!r} carries "
+                          f"link {link} (expected -1)")
+        return
+    peer = args.get("peer")
+    pid = ev.get("pid")
+    if not isinstance(peer, int) or peer < 0 or not isinstance(pid, int):
+        errors.append(f"{where}: msg_flight span has no usable sender (peer={peer})")
+        return
+    if not isinstance(gpus_per_node, int) or gpus_per_node < 1:
+        return  # topology not declared (pre-schema trace); schema pass reports it
+    src_node, dst_node = peer // gpus_per_node, pid // gpus_per_node
+    if src_node == dst_node:
+        expected = 0
+    elif nodes_per_switch and src_node // nodes_per_switch == dst_node // nodes_per_switch:
+        expected = 1
+    elif not nodes_per_switch:
+        expected = 1  # flat network: every off-node message is one IB hop
+    else:
+        expected = 2
+    if link != expected:
+        errors.append(f"{where}: msg_flight {peer}->{pid} classified link {link}, "
+                      f"topology says {expected} (gpus_per_node={gpus_per_node}, "
+                      f"nodes_per_switch={nodes_per_switch})")
+
+
 def check_recovery(events, errors):
     """Structural checks on the rank-failure recovery events the checkpoint/
     restart layer records (cat 'fault').  Per rank: a 'rank_failure' instant
@@ -176,7 +219,10 @@ def lint_file(trace_path, schema):
         return errors
 
     phases = schema["phases"]
-    ranks = doc.get("otherData", {}).get("ranks")
+    other = doc.get("otherData", {})
+    ranks = other.get("ranks")
+    gpus_per_node = other.get("gpus_per_node")
+    nodes_per_switch = other.get("nodes_per_switch")
     data_events = 0
     named_tracks = set()  # (pid, tid) with a thread_name record
     named_pids = set()
@@ -200,6 +246,7 @@ def lint_file(trace_path, schema):
             data_events += 1
             used_tracks.add((ev.get("pid"), ev.get("tid")))
             check_dep_fields(ev, ranks, where, errors)
+            check_link_fields(ev, gpus_per_node, nodes_per_switch, where, errors)
 
     check_recovery(events, errors)
 
