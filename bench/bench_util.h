@@ -5,6 +5,7 @@
 // shapes (who wins, by what factor, where the crossovers fall) are the
 // reproduction targets recorded in EXPERIMENTS.md.
 
+#include "core/provenance.h"
 #include "core/wallclock.h"
 #include "parallel/modeled_solver.h"
 #include "sim/event_sim.h"
@@ -43,7 +44,11 @@ public:
   void write() const {
     const double wall = std::chrono::duration<double>(core::wall_now() - start_).count();
     std::ofstream os("BENCH_" + name_ + ".json");
-    os << "{\n  \"name\": " << quote(name_) << ",\n  \"config\": {";
+    // one provenance line (commit, build type, scheduler, thread budget) so
+    // any perf delta can be traced back to what produced the numbers
+    const sim::SchedulerKind kind = sim::resolve_scheduler(sim::SchedulerKind::Threads);
+    os << "{\n  \"name\": " << quote(name_) << ",\n  \"provenance\": "
+       << core::provenance_json(sim::scheduler_name(kind)) << ",\n  \"config\": {";
     write_fields(os, config_, "\n    ");
     os << "\n  },\n  \"points\": [";
     for (std::size_t p = 0; p < points_.size(); ++p) {
@@ -104,6 +109,9 @@ inline parallel::ModeledSolverResult run_point(int ranks, LatticeDims global,
   // bytes, overlap efficiency); QUDA_SIM_TRACE additionally exports the
   // Chrome JSON timeline of each run
   spec.trace.enabled = true;
+  // flight recorder: every point carries the iteration ledger, utilization
+  // timelines, and anomaly counts (QUDA_SIM_TELEMETRY exports the JSONL)
+  spec.telemetry.enabled = true;
   sim::VirtualCluster cluster(spec);
 
   parallel::ModeledSolverConfig cfg;
@@ -125,6 +133,7 @@ inline parallel::ModeledSolverResult run_weak_point(int ranks, LatticeDims local
   sim::ClusterSpec spec = sim::ClusterSpec::jlab_9g(ranks);
   spec.good_numa_binding = series.good_numa;
   spec.trace.enabled = true;
+  spec.telemetry.enabled = true;
   sim::VirtualCluster cluster(spec);
 
   parallel::ModeledSolverConfig cfg;
@@ -149,6 +158,7 @@ inline parallel::ModeledSolverResult run_grid_point(sim::ClusterSpec spec,
                                                     int iterations = 20) {
   spec.good_numa_binding = series.good_numa;
   spec.trace.enabled = true;
+  spec.telemetry.enabled = true;
   sim::VirtualCluster cluster(spec);
 
   parallel::ModeledSolverConfig cfg;
@@ -228,6 +238,16 @@ inline void record_metrics(BenchJson& json, const trace::Metrics& m) {
   }
 }
 
+// attach the flight-recorder summary of one run to the current JSON point
+// (gated by bench_diff: more iterations, worse imbalance, or new anomalies
+// on an unchanged workload are regressions)
+inline void record_telemetry(BenchJson& json, const telemetry::TelemetryReport& t) {
+  if (!t.enabled) return;
+  json.field("iterations", static_cast<double>(t.iterations()));
+  json.field("load_imbalance", t.load_imbalance);
+  json.field("anomaly_count", static_cast<double>(t.anomaly_count()));
+}
+
 // attach the critical-path attribution of one run to the current JSON point
 inline void record_critpath(BenchJson& json, const trace::CritSummary& c) {
   json.field("crit_valid", static_cast<double>(c.valid));
@@ -269,6 +289,7 @@ inline void record_grid_point(BenchJson& json, const char* table, const SolverSe
       record_metrics(json, r.metrics);
       record_critpath(json, r.critpath);
     }
+    record_telemetry(json, r.telemetry);
   }
 }
 
@@ -302,6 +323,7 @@ inline void record_scaling_points(BenchJson& json, const char* table,
           record_metrics(json, r.metrics);
           record_critpath(json, r.critpath);
         }
+        record_telemetry(json, r.telemetry);
       }
     }
 }

@@ -47,7 +47,9 @@ int main(int argc, char** argv) {
   params.reconstruct = recon;
   params.reconstruct_sloppy = recon; // compress both solver levels alike
 
-  const sim::ClusterSpec cluster = sim::ClusterSpec::jlab_9g(ranks);
+  sim::ClusterSpec cluster = sim::ClusterSpec::jlab_9g(ranks);
+  cluster.telemetry.enabled = true; // flight recorder: per-solve summary below
+  cluster.trace.enabled = true;     // in-memory trace feeds the busy-% gauges
   std::vector<HostSpinorField> propagator;
   double total_time_us = 0, total_gflops = 0;
   int total_iters = 0;
@@ -64,6 +66,18 @@ int main(int argc, char** argv) {
                   "%7.2f ms, %6.1f Gflops\n",
                   spin, color, r.stats.iterations, r.stats.reliable_updates,
                   r.simulated_time_us / 1e3, r.effective_gflops);
+      // the flight recorder's view of the same solve (QUDA_SIM_TELEMETRY
+      // would additionally export the full ledger as JSONL)
+      if (r.telemetry.enabled) {
+        const auto& gauges = r.telemetry.registry.gauges();
+        const auto busy = gauges.find("busy_frac.mean");
+        std::printf("    telemetry: %ld boundaries, final r2 %.2e, busy %.0f%%, "
+                    "imbalance %.2f, %ld anomalies\n",
+                    r.telemetry.iterations(),
+                    r.telemetry.ledger.empty() ? 0.0 : r.telemetry.ledger.back().r2,
+                    busy != gauges.end() ? 100.0 * busy->second : 0.0,
+                    r.telemetry.load_imbalance, r.telemetry.anomaly_count());
+      }
       all_converged = all_converged && r.stats.converged;
       total_time_us += r.simulated_time_us;
       total_gflops += r.effective_gflops;

@@ -2,6 +2,7 @@
 
 #include "blas/blas.h"
 #include "core/partition.h"
+#include "core/provenance.h"
 #include "dirac/clover_term.h"
 #include "dirac/transfer.h"
 #include "parallel/parallel_op.h"
@@ -10,6 +11,7 @@
 #include "solvers/cg.h"
 #include "solvers/checkpoint.h"
 #include "solvers/mixed_precision.h"
+#include "trace/telemetry.h"
 #include "trace/trace_export.h"
 
 #include <cstdio>
@@ -194,6 +196,7 @@ int recover_rank(RankContext& ctx, comm::QmpGrid& grid, CheckpointManager<POuter
   grid.recovery_sync();
   tracer.span(trace::Cat::Fault, "resume", trace::kTrackHost, arrive_us, ctx.clock().now_us);
   tracer.instant(trace::Cat::Fault, "recovery_reset", trace::kTrackHost, ctx.clock().now_us);
+  if (auto* rec = telemetry::current()) rec->recovery(ep.epoch);
   // the epoch index is cluster-global, so every rank takes this branch (or
   // none does) -- a deterministic abort instead of a poison race
   if (ep.epoch > fc.max_failures)
@@ -446,6 +449,8 @@ InvertResult invert_multi_gpu(const sim::ClusterSpec& cluster_spec, const HostGa
   if (const char* ckpt_env = std::getenv("QUDA_SIM_CKPT"); ckpt_env != nullptr && *ckpt_env) {
     const std::string path = trace::unique_trace_path(ckpt_env);
     if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+      // one provenance line first, so differential tools can strip it by filter
+      std::fprintf(f, "{\"provenance\":%s}\n", core::provenance_json(cluster_spec).c_str());
       for (int r = 0; r < n_ranks; ++r)
         for (const CheckpointEvent& e : outcomes[static_cast<std::size_t>(r)].ckpt_log)
           std::fprintf(f,
@@ -464,6 +469,7 @@ InvertResult invert_multi_gpu(const sim::ClusterSpec& cluster_spec, const HostGa
     result.critpath = trace::analyze_solve(
         cluster.trace(), trace::ModelConfig{cluster_spec.device.dual_copy_engine});
   }
+  result.telemetry = cluster.telemetry();
   return result;
 }
 

@@ -21,6 +21,7 @@
 #include "solvers/solver.h"
 #include "trace/attribution.h"
 #include "trace/metrics.h"
+#include "trace/telemetry.h"
 
 #include <optional>
 
@@ -144,6 +145,7 @@ struct InvertResult {
   bool traced = false;             // tracing was on; `trace_metrics` is meaningful
   trace::Metrics trace_metrics{};  // aggregated trace metrics of the solve
   trace::CritSummary critpath{};   // critical-path attribution of the full run
+  telemetry::TelemetryReport telemetry{}; // flight recorder (QUDA_SIM_TELEMETRY)
 };
 
 // Solve M x = b on `ranks` simulated GPUs (time-direction decomposition).

@@ -152,6 +152,10 @@ ModeledSolverResult run_modeled_solver(sim::VirtualCluster& cluster,
 
       tracer.instant(trace::Cat::Solver, "iteration", trace::kTrackSolver, ctx.clock().now_us,
                      0, -1, -1, k);
+      // modeled iterations carry no residual (arithmetic suppressed); the
+      // ledger still pins the iteration cadence and precision regime
+      if (auto* rec = telemetry::current())
+        rec->iteration(k, -1.0, to_string(sloppy)[0]);
 
       if (mixed && config.reliable_interval > 0 && k % config.reliable_interval == 0) {
         // reliable update: fold x_lo, recompute the true residual at outer
@@ -182,12 +186,14 @@ ModeledSolverResult run_modeled_solver(sim::VirtualCluster& cluster,
           modeled_reduction(ctx);
           tracer.instant(trace::Cat::Solver, "rollback", trace::kTrackSolver,
                          ctx.clock().now_us, 0, -1, -1, k);
+          if (auto* rec = telemetry::current()) rec->flag(telemetry::kRollback);
           tracer.span(trace::Cat::Solver, "reliable_update", trace::kTrackSolver,
                       reliable_begin_us, ctx.clock().now_us, 0, -1, -1, k);
           k -= config.reliable_interval; // the segment is re-run
           continue;
         }
         modeled_blas(ctx, sloppy, vh, 1, 1, flops); // r_lo = convert(r)
+        if (auto* rec = telemetry::current()) rec->flag(telemetry::kReliableUpdate);
         tracer.span(trace::Cat::Solver, "reliable_update", trace::kTrackSolver,
                     reliable_begin_us, ctx.clock().now_us, 0, -1, -1, k);
       }
@@ -211,6 +217,7 @@ ModeledSolverResult run_modeled_solver(sim::VirtualCluster& cluster,
     result.critpath = trace::analyze_solve(
         cluster.trace(), trace::ModelConfig{cluster.spec().device.dual_copy_engine});
   }
+  result.telemetry = cluster.telemetry();
   double total_flops = 0;
   for (double f : eff_flops) total_flops += f;
   // flops/us -> Gflops (time_us is 0 only for degenerate no-op schedules)

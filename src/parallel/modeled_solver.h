@@ -17,6 +17,7 @@
 #include "sim/event_sim.h"
 #include "trace/attribution.h"
 #include "trace/metrics.h"
+#include "trace/telemetry.h"
 
 #include <optional>
 
@@ -57,6 +58,7 @@ struct ModeledSolverResult {
   bool traced = false;            // tracing was on; `metrics` is meaningful
   trace::Metrics metrics{};       // aggregated trace metrics of the solve
   trace::CritSummary critpath{};  // critical-path attribution (traced runs)
+  telemetry::TelemetryReport telemetry{}; // flight recorder (QUDA_SIM_TELEMETRY)
 };
 
 // run the modeled solve on `cluster` (one rank per GPU); returns aggregate

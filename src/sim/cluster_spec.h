@@ -7,6 +7,7 @@
 
 #include "gpusim/device_spec.h"
 #include "sim/fault_model.h"
+#include "trace/telemetry.h"
 #include "trace/trace.h"
 
 #include <algorithm>
@@ -107,6 +108,9 @@ struct ClusterSpec {
   // structured tracing (src/trace); recording also turns on when the
   // QUDA_SIM_TRACE environment variable is set (its value = export path)
   trace::TraceOptions trace{};
+  // solver flight recorder (src/trace/telemetry.h); recording also turns
+  // on when QUDA_SIM_TELEMETRY is set (its value = JSONL export path)
+  telemetry::TelemetryOptions telemetry{};
   // how the DES executes the ranks (Auto = QUDA_SIM_SCHED, default threads)
   SchedulerKind scheduler = SchedulerKind::Auto;
   // leaf-switch grouping of the nodes (default: flat single switch)

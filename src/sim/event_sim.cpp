@@ -1,6 +1,8 @@
 #include "sim/event_sim.h"
 
+#include "core/provenance.h"
 #include "perfmodel/costs.h"
+#include "trace/telemetry.h"
 #include "trace/trace_export.h"
 
 #include <algorithm>
@@ -15,6 +17,9 @@ RankContext::RankContext(VirtualCluster& cluster, int rank, const ClusterSpec& s
       device_(spec.device, spec.bus, spec.good_numa_binding),
       faults_(&cluster.fault_model_, rank) {
   tracer_.bind(rank, &clock_.now_us);
+  // the recorder samples the clock, the tracer's event stream and the
+  // retry counter read-only -- it never advances or mutates any of them
+  recorder_.bind(rank, &clock_.now_us, &tracer_, &faults_.counters().retries);
 }
 
 int RankContext::size() const { return spec_.num_ranks(); }
@@ -431,12 +436,21 @@ void VirtualCluster::run(const std::function<void(RankContext&)>& fn) {
   const bool trace_on = spec_.trace.enabled || (env_trace != nullptr && env_trace[0] != '\0');
   std::string trace_path = spec_.trace.path;
   if (trace_path.empty() && env_trace != nullptr) trace_path = env_trace;
+  // telemetry mirrors the trace switch: the spec or QUDA_SIM_TELEMETRY
+  // (whose value doubles as the JSONL export path)
+  const char* env_telem = std::getenv("QUDA_SIM_TELEMETRY");
+  const bool telemetry_on =
+      spec_.telemetry.enabled || (env_telem != nullptr && env_telem[0] != '\0');
+  std::string telemetry_path = spec_.telemetry.path;
+  if (telemetry_path.empty() && env_telem != nullptr) telemetry_path = env_telem;
 
   std::vector<std::unique_ptr<RankContext>> contexts;
   contexts.reserve(static_cast<std::size_t>(n));
   for (int r = 0; r < n; ++r) contexts.push_back(std::make_unique<RankContext>(*this, r, spec_));
   if (trace_on)
     for (auto& c : contexts) c->tracer().set_enabled(true);
+  if (telemetry_on)
+    for (auto& c : contexts) c->recorder().set_enabled(true, spec_.telemetry.monitors);
 
   std::vector<RankContext*> rank_ptrs;
   rank_ptrs.reserve(static_cast<std::size_t>(n));
@@ -494,15 +508,37 @@ void VirtualCluster::run(const std::function<void(RankContext&)>& fn) {
 
   // the trace likewise survives a failed run (partial timelines are exactly
   // what one wants when diagnosing a CommTimeout)
+  const std::string provenance =
+      core::provenance_json(scheduler_name(kind), core::cluster_summary_json(spec_));
   trace_report_ = trace::TraceReport{};
   trace_report_.enabled = trace_on;
   trace_report_.gpus_per_node = spec_.gpus_per_node;
   trace_report_.nodes_per_switch = spec_.interconnect.nodes_per_switch;
+  trace_report_.provenance_json = provenance;
   if (trace_on) {
     trace_report_.per_rank.reserve(static_cast<std::size_t>(n));
     for (auto& c : contexts) trace_report_.per_rank.push_back(c->tracer().take_events());
     if (!trace_path.empty())
       trace::write_chrome_trace(trace::unique_trace_path(trace_path), trace_report_);
+  }
+
+  // telemetry analysis is strictly post-run (the ranks are torn down), so
+  // it can never perturb simulated time; like the trace it survives a
+  // failed run, and the ledger/anomalies of the partial run are exactly
+  // what one wants when diagnosing it
+  telemetry_report_ = telemetry::TelemetryReport{};
+  if (telemetry_on) {
+    std::vector<const telemetry::RankRecorder*> recorders;
+    recorders.reserve(contexts.size());
+    for (auto& c : contexts) recorders.push_back(&c->recorder());
+    telemetry::AnalysisConfig acfg;
+    acfg.monitors = spec_.telemetry.monitors;
+    acfg.shm_peak_gbs = spec_.net.shm_bw_gbs;
+    acfg.ib_peak_gbs = spec_.net.ib_bw_gbs;
+    telemetry_report_ = telemetry::build_report(recorders, trace_report_, makespan_us_, acfg);
+    if (!telemetry_path.empty())
+      telemetry::write_jsonl(telemetry::unique_export_path(telemetry_path), telemetry_report_,
+                             provenance);
   }
 
   sched_.reset();

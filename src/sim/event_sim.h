@@ -119,6 +119,7 @@ public:
   gpusim::Device& device() { return device_; }
   FaultStream& faults() { return faults_; }
   trace::RankTracer& tracer() { return tracer_; }
+  telemetry::RankRecorder& recorder() { return recorder_; }
 
   // post a non-blocking send; advances the clock by the MPI call overhead.
   // Under fault injection the attempt may be dropped, corrupted, or delayed;
@@ -199,6 +200,7 @@ private:
   gpusim::Device device_;
   FaultStream faults_;
   trace::RankTracer tracer_;
+  telemetry::RankRecorder recorder_;
 };
 
 class VirtualCluster {
@@ -230,6 +232,10 @@ public:
   // per-rank event streams of the last run() when tracing was enabled via
   // ClusterSpec::trace or QUDA_SIM_TRACE (populated even when a rank threw)
   const trace::TraceReport& trace() const { return trace_report_; }
+
+  // solver flight-recorder report of the last run() when telemetry was
+  // enabled via ClusterSpec::telemetry or QUDA_SIM_TELEMETRY
+  const telemetry::TelemetryReport& telemetry() const { return telemetry_report_; }
 
 private:
   friend class RankContext;
@@ -315,6 +321,7 @@ private:
   FaultCounters fault_totals_;
   std::vector<FaultCounters> per_rank_counters_;
   trace::TraceReport trace_report_;
+  telemetry::TelemetryReport telemetry_report_;
 };
 
 } // namespace quda::sim

@@ -2,6 +2,7 @@
 
 #include "core/wallclock.h"
 #include "sim/event_sim.h"
+#include "trace/telemetry.h"
 #include "trace/trace.h"
 
 #include <sys/mman.h>
@@ -31,8 +32,11 @@ public:
     for (RankContext* ctx : ranks) {
       threads.emplace_back([ctx, trace_on, &body] {
         // bind the thread-local tracer so layers without RankContext access
-        // (the device model, the solvers) can emit; null keeps them silent
+        // (the device model, the solvers) can emit; null keeps them silent.
+        // The recorder binds unconditionally: a disabled recorder's hooks
+        // are no-ops, so the cost matches the tracer's null check.
         trace::ScopedTracer bind_tracer(trace_on ? &ctx->tracer() : nullptr);
+        telemetry::ScopedRecorder bind_recorder(&ctx->recorder());
         body(*ctx);
       });
     }
@@ -112,9 +116,10 @@ void SeqScheduler::trampoline(unsigned hi, unsigned lo) {
 
 void SeqScheduler::resume(Fiber& f, bool trace_on) {
   current_ = &f;
-  // rebind the thread-local tracer per resume: every fiber shares this OS
-  // thread, so the binding must follow the fiber, not the thread
+  // rebind the thread-local tracer and recorder per resume: every fiber
+  // shares this OS thread, so the binding must follow the fiber
   trace::ScopedTracer bind_tracer(trace_on ? &f.ctx->tracer() : nullptr);
+  telemetry::ScopedRecorder bind_recorder(&f.ctx->recorder());
   swapcontext(&loop_uc_, &f.uc);
   current_ = nullptr;
 }

@@ -10,6 +10,7 @@
 #include "solvers/checkpoint.h"
 #include "solvers/linear_operator.h"
 #include "solvers/solver.h"
+#include "trace/telemetry.h"
 #include "trace/trace.h"
 
 #include <cmath>
@@ -68,6 +69,7 @@ SolverStats solve_bicgstab(LinearOperator<P>& op, SpinorField<P>& x, const Spino
     if (trace::RankTracer* tr = trace::current())
       tr->instant(trace::Cat::Solver, "breakdown_restart", trace::kTrackSolver, tr->now_us(), 0,
                   -1, -1, stats.breakdown_restarts);
+    if (auto* rec = telemetry::current()) rec->flag(telemetry::kBreakdownRestart);
     op.apply(r, x);
     r2 = op.global_sum(blas::xmy_norm(b, r));
     blas::copy(r0, r);
@@ -134,6 +136,7 @@ SolverStats solve_bicgstab(LinearOperator<P>& op, SpinorField<P>& x, const Spino
     if (trace::RankTracer* tr = trace::current())
       tr->instant(trace::Cat::Solver, "iteration", trace::kTrackSolver, tr->now_us(), 0, -1, -1,
                   k);
+    if (auto* rec = telemetry::current()) rec->iteration(k, r2, to_string(P::value)[0]);
     if (ckpt != nullptr && k % kUniformCheckpointStride == 0 && r2 > stop)
       ckpt->observe_boundary(x, k);
     if (params.verbose && (k % 10 == 0))
@@ -145,6 +148,7 @@ SolverStats solve_bicgstab(LinearOperator<P>& op, SpinorField<P>& x, const Spino
   op.apply(v, x);
   const double true_r2 = op.global_sum(blas::xmy_norm(b, v));
   op.account_blas(2, 1);
+  if (auto* rec = telemetry::current()) rec->true_residual(true_r2);
   stats.true_residual = std::sqrt(true_r2 / b2);
   stats.converged = true_r2 <= stop * 4.0; // allow rounding slack vs iterated residual
   return stats;

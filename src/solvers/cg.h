@@ -7,6 +7,7 @@
 #include "solvers/checkpoint.h"
 #include "solvers/linear_operator.h"
 #include "solvers/solver.h"
+#include "trace/telemetry.h"
 
 #include <cmath>
 #include <cstdio>
@@ -54,6 +55,7 @@ SolverStats solve_cgnr(LinearOperator<P>& op, SpinorField<P>& x, const SpinorFie
   auto breakdown_restart = [&]() {
     if (stats.breakdown_restarts >= params.max_breakdown_restarts) return false;
     ++stats.breakdown_restarts;
+    if (auto* rec = telemetry::current()) rec->flag(telemetry::kBreakdownRestart);
     op.apply(tmp, x);
     blas::xmy_norm(b, tmp);
     op.apply_dagger(r, tmp);
@@ -84,12 +86,14 @@ SolverStats solve_cgnr(LinearOperator<P>& op, SpinorField<P>& x, const SpinorFie
     op.account_blas(2, 1);
 
     ++k;
+    if (auto* rec = telemetry::current()) rec->iteration(k, rr, to_string(P::value)[0]);
     if (k % 10 == 0 || rr < stop) {
       op.apply(tmp, x);
       SpinorField<P> res = SpinorField<P>::like(b);
       blas::copy(res, b);
       true_r2 = op.global_sum(blas::axpy_norm(-1.0, tmp, res));
       op.account_blas(4, 2);
+      if (auto* rec = telemetry::current()) rec->true_residual(true_r2);
       if (params.verbose)
         std::printf("CGNR: iter %4d  |r|/|b| = %.3e\n", k, std::sqrt(true_r2 / b2));
       if (true_r2 <= stop) break;

@@ -19,6 +19,7 @@
 
 #include "comm/qmp.h"
 #include "lattice/spinor_field.h"
+#include "trace/telemetry.h"
 #include "trace/trace.h"
 
 #include <cstdint>
@@ -99,6 +100,7 @@ public:
     committed_ = pending_;
     pending_.valid = false;
     ++counters.checkpoints_committed;
+    if (auto* rec = telemetry::current()) rec->flag(telemetry::kCheckpoint);
     tracer.span(trace::Cat::Fault, "ckpt_commit", trace::kTrackHost, commit_begin_us,
                 ctx.clock().now_us, 0, -1, -1, iteration);
     log_.push_back(

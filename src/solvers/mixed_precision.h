@@ -99,6 +99,7 @@ SolverStats solve_bicgstab_reliable(LinearOperator<PHi>& op_hi, LinearOperator<P
     if (trace::RankTracer* tr = trace::current())
       tr->instant(trace::Cat::Solver, "breakdown_restart", trace::kTrackSolver, tr->now_us(), 0,
                   -1, -1, stats.breakdown_restarts);
+    if (auto* rec = telemetry::current()) rec->flag(telemetry::kBreakdownRestart);
     convert_spinor_field(tmp_hi, x_lo);
     blas::axpy(1.0, tmp_hi, x);
     op_hi.apply(r_hi, x);
@@ -150,6 +151,9 @@ SolverStats solve_bicgstab_reliable(LinearOperator<PHi>& op_hi, LinearOperator<P
     if (trace::RankTracer* tr = trace::current())
       tr->instant(trace::Cat::Solver, "iteration", trace::kTrackSolver, tr->now_us(), 0, -1, -1,
                   k);
+    // the ledger records the *sloppy* iterated residual with the sloppy
+    // regime; reliable updates below attach the true residual
+    if (auto* rec = telemetry::current()) rec->iteration(k, r2, to_string(PLo::value)[0]);
 
     const double rnorm = std::sqrt(r2);
     if (rnorm > maxrr) maxrr = rnorm;
@@ -171,6 +175,10 @@ SolverStats solve_bicgstab_reliable(LinearOperator<PHi>& op_hi, LinearOperator<P
       r2 = op_hi.global_sum(blas::xmy_norm(b, r_hi));
       op_hi.account_blas(2, 1);
       ++stats.reliable_updates;
+      if (auto* rec = telemetry::current()) {
+        rec->flag(telemetry::kReliableUpdate);
+        rec->true_residual(r2);
+      }
 
       // --- SDC check: does the true residual contradict convergence? ------
       if (sdc_on && (!std::isfinite(r2) ||
@@ -195,6 +203,7 @@ SolverStats solve_bicgstab_reliable(LinearOperator<PHi>& op_hi, LinearOperator<P
         ++stats.rollbacks;
         last_update_r2 = r2;
         stagnant_updates = 0;
+        if (auto* rec = telemetry::current()) rec->flag(telemetry::kRollback);
         if (tr != nullptr)
           tr->instant(trace::Cat::Solver, "sdc_rollback", trace::kTrackSolver, tr->now_us(), 0,
                       -1, -1, stats.rollbacks);
@@ -239,6 +248,7 @@ SolverStats solve_bicgstab_reliable(LinearOperator<PHi>& op_hi, LinearOperator<P
       blas::copy(p, r);
       op_lo.account_blas(1, 1);
       ++stats.restarts;
+      if (auto* rec = telemetry::current()) rec->flag(telemetry::kRestart);
       if (norm2(rho_next) == 0.0) break;
     }
     const complexd beta = (rho_next / rho) * (alpha / omega);
@@ -305,6 +315,8 @@ SolverStats solve_defect_correction(LinearOperator<PHi>& op_hi, LinearOperator<P
     const SolverStats is = solve_bicgstab(op_lo, e_lo, r_lo, inner);
     stats.iterations += is.iterations;
     ++stats.restarts;
+    // each defect-correction cycle is a restart of the inner Krylov space
+    if (auto* rec = telemetry::current()) rec->flag(telemetry::kRestart);
     if (is.iterations == 0) break; // inner solver stalled
 
     convert_spinor_field(e_hi, e_lo);

@@ -1,5 +1,7 @@
 #include "trace/trace.h"
 
+#include <cstring>
+
 namespace quda::trace {
 
 namespace {
@@ -47,6 +49,10 @@ ScopedTracer::~ScopedTracer() { t_current = prev_; }
 std::uint64_t sequence_digest(const std::vector<Event>& events) {
   std::uint64_t h = 0xcbf29ce484222325ull;
   for (const Event& e : events) {
+    // anomaly instants are telemetry-layer observations, not pipeline
+    // structure: excluded (like timestamps) so golden digests are
+    // bit-identical with telemetry on or off
+    if (e.instant && std::strcmp(e.name, "anomaly") == 0) continue;
     h = fnv1a_str(h, e.name);
     h = fnv1a_step(h, static_cast<std::uint64_t>(e.cat));
     h = fnv1a_step(h, e.instant ? 1u : 0u);

@@ -193,6 +193,9 @@ struct TraceReport {
   // and lint can classify ranks into nodes and leaf switches
   int gpus_per_node = 1;
   int nodes_per_switch = 0; // 0 = flat single-switch network
+  // one-line JSON provenance stamp (core/provenance.h), set by the run
+  // that recorded the events; empty = omit from exports
+  std::string provenance_json;
 
   std::size_t total_events() const {
     std::size_t n = 0;

@@ -79,7 +79,12 @@ std::string chrome_trace_json(const TraceReport& report) {
       append_meta(out, pid, track_tid(track), "thread_name", track_label(track), first);
     for (const Event& e : report.per_rank[rank]) append_event(out, pid, e, first);
   }
-  out += "\n],\n\"displayTimeUnit\": \"ms\",\n\"otherData\": {\"tool\": \"mgpu-quda sim tracer\", "
+  out += "\n],\n";
+  // provenance rides on exactly one line so differential tests (bitwise
+  // trace comparison across schedulers/budgets) can strip it by line
+  if (!report.provenance_json.empty())
+    out += "\"provenance\": " + report.provenance_json + ",\n";
+  out += "\"displayTimeUnit\": \"ms\",\n\"otherData\": {\"tool\": \"mgpu-quda sim tracer\", "
          "\"ranks\": " +
          std::to_string(report.per_rank.size()) + ", \"events\": " +
          std::to_string(report.total_events()) +

@@ -217,7 +217,21 @@ std::string slurp_export(const std::string& base) {
     std::ostringstream ss;
     ss << in.rdbuf();
     std::remove(path.c_str());
-    return ss.str();
+    // drop the one-line provenance stamp: it names the thread budget, which
+    // is exactly what the bitwise comparisons below vary
+    std::string text = ss.str(), out;
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+      std::size_t eol = text.find('\n', pos);
+      if (eol == std::string::npos) eol = text.size();
+      const std::string line = text.substr(pos, eol - pos);
+      if (line.find("\"provenance\"") == std::string::npos) {
+        out += line;
+        if (eol < text.size()) out += '\n';
+      }
+      pos = eol + 1;
+    }
+    return out;
   }
   return "";
 }

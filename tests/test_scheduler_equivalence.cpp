@@ -44,6 +44,7 @@ using parallel::ModeledSolverResult;
 // ambient values so every run starts from the documented defaults
 const bool g_env_cleared = [] {
   ::unsetenv("QUDA_SIM_TRACE");
+  ::unsetenv("QUDA_SIM_TELEMETRY");
   ::unsetenv("QUDA_SIM_SCHED");
   ::unsetenv("QUDA_SIM_MAX_RANK_THREADS");
   return true;
@@ -175,6 +176,25 @@ struct RealObs {
   std::string trace_json; // exported Chrome trace, timestamps included
 };
 
+// Exports carry a one-line provenance stamp naming the scheduler and thread
+// budget -- exactly what these tests vary -- so strip those lines before the
+// bitwise comparison.  Everything else must match to the last bit.
+std::string strip_provenance(const std::string& text) {
+  std::string out;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string line = text.substr(pos, eol - pos);
+    if (line.find("\"provenance\"") == std::string::npos) {
+      out += line;
+      if (eol < text.size()) out += '\n';
+    }
+    pos = eol + 1;
+  }
+  return out;
+}
+
 // trace exports append .N suffixes when the base name exists; each run here
 // uses a distinct base, so exactly one variant exists: read it, delete it
 std::string slurp_export(const std::string& base) {
@@ -185,7 +205,7 @@ std::string slurp_export(const std::string& base) {
     std::ostringstream ss;
     ss << in.rdbuf();
     std::remove(path.c_str());
-    return ss.str();
+    return strip_provenance(ss.str());
   }
   return "";
 }

@@ -36,13 +36,16 @@ namespace quda {
 namespace {
 
 constexpr const char* kTracePath = "trace_seq256_golden.json";
+constexpr const char* kTelemetryPath = "telemetry_seq256.jsonl";
 
-// drop stale exports (the exporter appends .N suffixes rather than
+// drop stale exports (the exporters append .N suffixes rather than
 // overwrite, which would otherwise accumulate across local reruns)
 void scrub_trace_exports() {
-  std::remove(kTracePath);
-  for (int n = 1; n < 64; ++n)
-    std::remove((std::string(kTracePath) + "." + std::to_string(n)).c_str());
+  for (const char* base : {kTracePath, kTelemetryPath}) {
+    std::remove(base);
+    for (int n = 1; n < 64; ++n)
+      std::remove((std::string(base) + "." + std::to_string(n)).c_str());
+  }
 }
 
 TEST(SeqGolden, Pinned256RankModeledSolve) {
@@ -53,6 +56,11 @@ TEST(SeqGolden, Pinned256RankModeledSolve) {
   spec.scheduler = sim::SchedulerKind::Seq;
   spec.trace.enabled = true;
   spec.trace.path = kTracePath;
+  // the flight recorder runs on top: the goldens below must survive it
+  // bit-for-bit (observational purity, DESIGN.md §13), and quick_gate.sh
+  // renders the JSONL left on disk into the HTML run report
+  spec.telemetry.enabled = true;
+  spec.telemetry.path = kTelemetryPath;
   sim::VirtualCluster cluster(spec);
 
   parallel::ModeledSolverConfig cfg;

@@ -42,6 +42,12 @@ GATED_METRICS = {
     # modeled allocation is a regression like losing flops is
     "footprint_bytes": "lower",
     "gauge_footprint_bytes": "lower",
+    # flight-recorder summary (telemetry): needing more Krylov iterations,
+    # a worse busy-time spread, or new anomalies on an unchanged workload
+    # all mean the run got worse even if the wall time hides it
+    "iterations": "lower",
+    "load_imbalance": "lower",
+    "anomaly_count": "lower",
 }
 
 # numeric fields that are axes, not measurements -- part of the join key
@@ -165,7 +171,8 @@ def parse_gates(args):
 def self_test():
     """Synthetic baseline/current pair: the gate must fire on an injected
     regression and stay silent on identical inputs."""
-    def doc(time_us, gflops, gauge_bytes=1.0e6):
+    def doc(time_us, gflops, gauge_bytes=1.0e6, iterations=200.0,
+            imbalance=1.05, anomalies=0.0):
         return {
             "name": "selftest",
             "points": [
@@ -173,7 +180,9 @@ def self_test():
                  "gflops": gflops, "crit_path_us": time_us,
                  "crit_exposed_comm_us": 0.25 * time_us,
                  "crit_interior_us": 0.75 * time_us,
-                 "gauge_footprint_bytes": gauge_bytes},
+                 "gauge_footprint_bytes": gauge_bytes,
+                 "iterations": iterations, "load_imbalance": imbalance,
+                 "anomaly_count": anomalies},
                 {"series": "overlap", "gpus": 4, "time_us": 100.0, "gflops": 50.0},
             ],
         }
@@ -208,6 +217,21 @@ def self_test():
     tight = dict(thresholds, time_us=2.0)
     regressions, _ = compare(base, drift, tight)
     assert any(r["metric"] == "time_us" for r in regressions), "tightened gate silent"
+
+    # flight-recorder gates: more iterations on the same workload fires even
+    # when the wall time holds (reliable-update churn hides in throughput) ...
+    churn = index_points(doc(1000.0, 40.0, iterations=240.0), "churn")
+    regressions, _ = compare(base, churn, thresholds)
+    assert [r["metric"] for r in regressions] == ["iterations"], regressions
+    # ... as does a busy-fraction spread blowing up across ranks ...
+    skew = index_points(doc(1000.0, 40.0, imbalance=1.40), "skew")
+    regressions, _ = compare(base, skew, thresholds)
+    assert [r["metric"] for r in regressions] == ["load_imbalance"], regressions
+    # ... and anomalies appearing on a previously clean run (near-zero
+    # baseline, so the absolute floor decides: 0 -> 2 fires)
+    noisy = index_points(doc(1000.0, 40.0, anomalies=2.0), "noisy")
+    regressions, _ = compare(base, noisy, thresholds)
+    assert [r["metric"] for r in regressions] == ["anomaly_count"], regressions
 
     # near-zero baseline: jitter below the absolute floor is not a regression
     zbase = index_points({"points": [{"series": "z", "gpus": 1, "time_us": 0.0}]}, "z0")

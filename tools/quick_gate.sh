@@ -12,7 +12,11 @@
 #      rolled back to the last committed checkpoint, and still converge; its
 #      exported trace must satisfy the recovery pairing rules
 #      (rank_failure -> rollback, checkpoint -> ckpt_commit/ckpt_abort);
-#   6. perf gate: run the quick fig5 sweep and diff its BENCH JSON against
+#   6. flight-recorder smoke: the 256-rank seq golden runs with
+#      QUDA_SIM_TELEMETRY on (goldens must survive telemetry bit-for-bit)
+#      and tools/report.py renders its JSONL + trace into the
+#      self-contained HTML run report;
+#   7. perf gate: run the quick fig5 sweep and diff its BENCH JSON against
 #      the stored baseline with tools/bench_diff.py.  The first run seeds
 #      the baseline ($BUILD/bench_baseline_fig5_strong.json); later runs
 #      fail on >10% regressions in time/gflops/critical-path metrics, and
@@ -54,9 +58,11 @@ fi
 python3 tools/trace_lint.py "${rf_traces[@]}"
 
 # 256-rank seq-scheduler smoke: the pinned golden run (4x4x4x4 grid of
-# fibers on one event loop, fat-tree interconnect) plus the scheduler
-# selection/capacity unit tests; its exported 256-rank trace must pass the
-# link-class and topology rules in tools/trace_schema.json
+# fibers on one event loop, fat-tree interconnect) runs with the flight
+# recorder on in-spec -- the goldens must survive telemetry bit-for-bit
+# (observational purity); its exported 256-rank trace must pass the
+# link-class and topology rules in tools/trace_schema.json, and the
+# telemetry JSONL it leaves behind must render into the HTML run report.
 (cd "$BUILD/tests" && ./quda_tests \
   --gtest_filter='SeqGolden.*:SchedulerCapacity.*:SchedulerResolve.*' \
   > /dev/null)
@@ -66,6 +72,18 @@ if [ "${#seq_traces[@]}" -eq 0 ]; then
   exit 1
 fi
 python3 tools/trace_lint.py "${seq_traces[@]}"
+seq_telemetry=("$BUILD"/tests/telemetry_seq256.jsonl*)
+if [ "${#seq_telemetry[@]}" -eq 0 ]; then
+  echo "quick_gate: the 256-rank seq smoke produced no telemetry export" >&2
+  exit 1
+fi
+python3 tools/report.py --self-test
+python3 tools/report.py --telemetry "${seq_telemetry[0]}" \
+  --trace "${seq_traces[0]}" -o "$BUILD/tests/seq256_report.html"
+grep -q '</html>' "$BUILD/tests/seq256_report.html" || {
+  echo "quick_gate: seq256 run report did not render to complete HTML" >&2
+  exit 1
+}
 
 # link-reconstruction smoke: the 8-real gauge path must round-trip, agree
 # with the 18-real dslash, and converge the recon-8 solve to the recon-12

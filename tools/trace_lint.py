@@ -24,6 +24,9 @@ test suite relies on:
     each rank every 'rank_failure' instant is answered by a 'rollback'
     span, and every two-phase 'checkpoint' span is closed by a
     'ckpt_commit' span or a 'ckpt_abort' instant for the same iteration;
+  * telemetry 'anomaly' instants (DESIGN.md section 13) ride the solver
+    track (cat 'solver', tid 12) with args.bytes holding the AnomalyKind
+    (0..3) and args.seq the iteration (>= -1);
   * the interconnect link classes (DESIGN.md section 12) are sound: every
     msg_flight span's args.link matches the class derived from the
     receiver (pid), the sender (args.peer), and the node/switch topology
@@ -152,6 +155,30 @@ def check_link_fields(ev, gpus_per_node, nodes_per_switch, where, errors):
                       f"nodes_per_switch={nodes_per_switch})")
 
 
+def check_anomaly(ev, where, errors):
+    """Semantic check on telemetry 'anomaly' instants (src/trace/telemetry.cpp):
+    the monitors' findings ride the solver track as instants with args.bytes
+    carrying the telemetry::AnomalyKind (0..3) and args.seq the iteration the
+    monitor fired at (-1 for post-hoc whole-run findings)."""
+    if ev.get("name") != "anomaly" or ev.get("ph") != "i":
+        return
+    if ev.get("cat") != "solver":
+        errors.append(f"{where}: anomaly instant carries cat {ev.get('cat')!r} "
+                      "(expected 'solver')")
+    if ev.get("tid") != 12:
+        errors.append(f"{where}: anomaly instant rides tid {ev.get('tid')} "
+                      "(expected the solver track, tid 12)")
+    args = ev.get("args")
+    if not isinstance(args, dict):
+        return  # missing args already reported by the schema pass
+    kind = args.get("bytes")
+    if isinstance(kind, int) and not 0 <= kind <= 3:
+        errors.append(f"{where}: anomaly kind {kind} outside AnomalyKind range [0, 3]")
+    seq = args.get("seq")
+    if isinstance(seq, int) and seq < -1:
+        errors.append(f"{where}: anomaly iteration seq={seq} below the -1 floor")
+
+
 def check_recovery(events, errors):
     """Structural checks on the rank-failure recovery events the checkpoint/
     restart layer records (cat 'fault').  Per rank: a 'rank_failure' instant
@@ -247,6 +274,7 @@ def lint_file(trace_path, schema):
             used_tracks.add((ev.get("pid"), ev.get("tid")))
             check_dep_fields(ev, ranks, where, errors)
             check_link_fields(ev, gpus_per_node, nodes_per_switch, where, errors)
+            check_anomaly(ev, where, errors)
 
     check_recovery(events, errors)
 
