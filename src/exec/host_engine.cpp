@@ -124,6 +124,11 @@ private:
       if (c >= batch.num_chunks) break;
       try {
         (*batch.task)(c);
+        // NOLINT(sim-death-swallow): nothing is swallowed -- the
+        // exception_ptr (a RankDeath included) is stored into batch.error
+        // and rethrown verbatim on the issuing thread at the rendezvous
+        // (std::rethrow_exception above); exec also sits below sim in the
+        // layer DAG, so it cannot name RankDeath to filter for it here
       } catch (...) {
         core::MutexLock lock(batch.m);
         if (!batch.error) batch.error = std::current_exception();

@@ -57,6 +57,22 @@ struct RankDeath {
   double time_us = 0; // rank-local sim time of death
 };
 
+// Guard for the rare generic handler that must observe arbitrary failures
+// (checkpoint probing, batch rendezvous): called first inside a
+// `catch (...)`, it lets a RankDeath pass through untouched and returns for
+// everything else, so the handler can only swallow ordinary exceptions.
+// tools/semantic_check.py (rule sim-death-swallow) accepts a generic catch
+// whose body calls this, rethrows, or sits behind an explicit RankDeath arm.
+inline void rethrow_if_rank_death() {
+  try {
+    throw;
+  } catch (const RankDeath&) {
+    throw;
+  } catch (...) {
+    // not a death: fall through to the caller's handler body
+  }
+}
+
 // Typed failure delivered to the *survivors* by the failure detector when a
 // peer dies mid-operation.  Replaces the CommTimeout cascade / deadlock a
 // silent peer death would otherwise cause.

@@ -1,0 +1,4 @@
+// Model-builder fixture: one half of a deliberate include cycle the
+// --test-model pass must detect (and report exactly once).
+#pragma once
+#include "b/cycle_b.h"

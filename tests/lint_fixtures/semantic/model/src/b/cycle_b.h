@@ -1,0 +1,3 @@
+// Model-builder fixture: the other half of the deliberate include cycle.
+#pragma once
+#include "a/cycle_a.h"

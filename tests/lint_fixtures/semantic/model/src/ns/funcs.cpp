@@ -1,0 +1,26 @@
+// Model-builder fixture: overload / namespace / class call resolution.
+// ns_a::caller's bare helper(x) must bind to the same-namespace free
+// helper, ns_a::cross_caller's qualified call must cross to ns_b, and
+// Widget::spin's bare call must prefer the class member.
+#include "a/cycle_a.h"
+
+namespace ns_a {
+
+int helper(int x) { return x + 1; }
+
+struct Widget {
+  int helper(int x) { return x + 2; }
+  int spin(int x) { return helper(x); }
+};
+
+int caller(int x) { return helper(x); }
+
+int cross_caller(int x) { return ns_b::helper(x); }
+
+}  // namespace ns_a
+
+namespace ns_b {
+
+int helper(int x) { return x * 2; }
+
+}  // namespace ns_b

@@ -1,0 +1,24 @@
+// Seeded sim-bench-schema violation: mystery_metric is emitted but neither
+// gated nor allowlisted.  time_us/iters are gated by the fixture manifest,
+// halo_bytes and the dynamic kernel_* prefix are allowlisted, and table is
+// a join key.  The manifest also gates ghost_metric, which no bench emits;
+// expect_extra.json pins that manifest-anchored finding.
+#include <string>
+#include "solvers/solver.h"
+
+namespace fix {
+
+struct BenchJson {
+  BenchJson& field(const std::string&, double) { return *this; }
+};
+
+void emit(BenchJson& row, const std::string& name) {
+  row.field("table", 1)
+      .field("time_us", 2)
+      .field("iters", 3)
+      .field("halo_bytes", 4)
+      .field("kernel_" + name, 5)
+      .field("mystery_metric", 6);  // EXPECT-SEM: sim-bench-schema
+}
+
+}  // namespace fix

@@ -1,0 +1,12 @@
+// Fixture stand-in for src/core/wallclock.h: the fixture manifest lists
+// this file under wallclock_taint.shim_files, so the seed definitions
+// below neither taint nor produce findings.
+#pragma once
+
+namespace fix {
+
+inline double wall_now() { return 0.0; }
+
+inline double now_for_watchdog() { return wall_now(); }
+
+}  // namespace fix

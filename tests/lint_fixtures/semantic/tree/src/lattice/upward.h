@@ -1,0 +1,9 @@
+// Seeded sim-layering violation: lattice reaching up into solvers.
+#pragma once
+#include "solvers/solver.h"  // EXPECT-SEM: sim-layering
+
+namespace fix {
+
+inline int face_iters() { return solve_iters(); }
+
+}  // namespace fix

@@ -1,0 +1,58 @@
+// Seeded sim-death-swallow violation plus every sanctioned repair: a bare
+// swallow (the finding), a rethrow, an explicit guard call, a RankDeath-
+// first handler chain, and a NOLINT-justified rendezvous boundary.
+#include "sim/bad_death.h"
+
+namespace fix {
+
+inline void rethrow_if_rank_death() {}
+void run_step();
+void log_note(const char*);
+
+void swallow_bad() {
+  try {
+    run_step();
+  } catch (...) {  // EXPECT-SEM: sim-death-swallow
+    log_note("swallowed");
+  }
+}
+
+void swallow_rethrows() {
+  try {
+    run_step();
+  } catch (...) {
+    log_note("noted");
+    throw;
+  }
+}
+
+void swallow_guarded() {
+  try {
+    run_step();
+  } catch (...) {
+    rethrow_if_rank_death();
+    log_note("not a death");
+  }
+}
+
+void swallow_chained() {
+  try {
+    run_step();
+  } catch (const RankDeath&) {
+    throw;
+  } catch (...) {
+    log_note("non-death");
+  }
+}
+
+void swallow_justified() {
+  try {
+    run_step();
+    // NOLINT(sim-death-swallow): fixture boundary; the rendezvous stores
+    // the exception_ptr and rethrows it on the issuing rank
+  } catch (...) {
+    log_note("stored");
+  }
+}
+
+}  // namespace fix

@@ -1,0 +1,4 @@
+// EXPECT-SEM: sim-layering
+// (this directory is deliberately absent from the fixture layer manifest,
+// so the file itself is the finding, anchored on line 1)
+#pragma once

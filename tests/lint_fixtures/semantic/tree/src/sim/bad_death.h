@@ -1,0 +1,13 @@
+// Seeded sim-death-swallow violation: RankDeath growing a base class would
+// make it catchable by generic std::exception handlers upstream of the
+// transport paths, defeating the only-the-recovery-loop-catches-it design.
+#pragma once
+#include <stdexcept>
+
+namespace fix {
+
+struct RankDeath : std::runtime_error {  // EXPECT-SEM: sim-death-swallow
+  using std::runtime_error::runtime_error;
+};
+
+}  // namespace fix

@@ -1,0 +1,23 @@
+// Seeded sim-wallclock-taint violations: a direct seed read, one-hop
+// propagation through the call graph, an allowlisted watchdog edge, and a
+// NOLINT-justified probe the self-test counts as an honored suppression.
+#include "core/clock_shim.h"
+#include "lattice/upward.h"
+
+namespace fix {
+
+double raw_read() { return wall_now(); }  // EXPECT-SEM: sim-wallclock-taint
+
+double derived() { return raw_read() + 1.0; }  // EXPECT-SEM: sim-wallclock-taint
+
+double allowed_watchdog() { return now_for_watchdog(); }
+
+double justified_probe() {
+  // NOLINT(sim-wallclock-taint): fixture-justified probe; the reading only
+  // arms a fallback deadline and never feeds simulated time
+  return raw_read();
+}
+
+int pure_path() { return face_iters(); }
+
+}  // namespace fix

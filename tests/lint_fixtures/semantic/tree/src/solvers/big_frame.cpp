@@ -1,0 +1,28 @@
+// Seeded sim-fiber-stack violations: a frame far over the 64 KiB budget
+// and a two-function recursion cycle; the heap-backed repair and the
+// manifest-allowlisted bounded pair stay clean.
+#include <vector>
+#include "solvers/solver.h"
+
+namespace fix {
+
+double overflow_frame() {  // EXPECT-SEM: sim-fiber-stack
+  double buf[16384];
+  for (int i = 0; i < 16384; ++i) buf[i] = i;
+  return buf[0];
+}
+
+double heap_frame() {
+  std::vector<double> buf(16384, 0.0);
+  return buf[0];
+}
+
+int recurse_a(int n);
+int recurse_b(int n) { return n <= 0 ? 0 : recurse_a(n - 1); }  // EXPECT-SEM: sim-fiber-stack
+int recurse_a(int n) { return n <= 0 ? 1 : recurse_b(n - 1); }
+
+int bounded_a(int n);
+int bounded_b(int n) { return n <= 0 ? 0 : bounded_a(n / 2); }
+int bounded_a(int n) { return n <= 0 ? 1 : bounded_b(n / 2); }
+
+}  // namespace fix

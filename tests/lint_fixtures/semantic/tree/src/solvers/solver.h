@@ -1,0 +1,10 @@
+// Upper-layer header for the layering fixture: src/lattice must not
+// include this (solvers sits above lattice in the fixture manifest).
+#pragma once
+#include "core/clock_shim.h"
+
+namespace fix {
+
+inline int solve_iters() { return 7; }
+
+}  // namespace fix

@@ -120,6 +120,55 @@ TEST(FaultConfigValidate, AcceptsDefaultsAndEnabledConfigs) {
 
 // the cluster totals are exactly the sum of the per-rank counters, for
 // every field -- including the crash/hang/detection/recovery ones
+// --- generic-catch death guard ----------------------------------------------
+// rethrow_if_rank_death() is the sanctioned escape hatch for a generic
+// `catch (...)` that sits upstream of transport ops (rule sim-death-swallow
+// in tools/semantic_check.py): a RankDeath passes through untouched, every
+// other exception falls through to the handler body.
+
+TEST(RankDeathGuard, RethrowsRankDeathThroughGenericCatch) {
+  bool swallowed = false;
+  bool rethrown = false;
+  try {
+    try {
+      throw sim::RankDeath{3, sim::DeathKind::Hang, 42.0};
+    } catch (...) {
+      sim::rethrow_if_rank_death();
+      swallowed = true; // must stay unreachable for a death
+    }
+  } catch (const sim::RankDeath&) {
+    rethrown = true;
+  }
+  EXPECT_TRUE(rethrown);
+  EXPECT_FALSE(swallowed);
+}
+
+TEST(RankDeathGuard, PassesOrdinaryExceptionsToTheHandler) {
+  bool handled = false;
+  try {
+    throw std::runtime_error("plain failure");
+  } catch (...) {
+    sim::rethrow_if_rank_death();
+    handled = true;
+  }
+  EXPECT_TRUE(handled);
+}
+
+TEST(RankDeathGuard, PreservesTheDeathPayload) {
+  try {
+    try {
+      throw sim::RankDeath{7, sim::DeathKind::Crash, 123.5};
+    } catch (...) {
+      sim::rethrow_if_rank_death();
+      FAIL() << "guard swallowed a RankDeath";
+    }
+  } catch (const sim::RankDeath& d) {
+    EXPECT_EQ(d.rank, 7);
+    EXPECT_EQ(d.kind, sim::DeathKind::Crash);
+    EXPECT_DOUBLE_EQ(d.time_us, 123.5);
+  }
+}
+
 TEST(FaultCountersAgg, PerRankCountersSumToClusterTotals) {
   sim::ClusterSpec spec = sim::ClusterSpec::jlab_9g(4);
   spec.faults.seed = 606;

@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
 # Quick gate for the edit-compile-test loop (CI runs the full suite):
 #   1. configure + build;
-#   2. static analysis: tools/static_check.py over the tree (determinism &
-#      lock-discipline rules; a failure prints the offending file:line rule
-#      table) plus its seeded-violation self-test;
+#   2. static analysis: tools/static_check.py (per-file determinism &
+#      lock-discipline rules) and tools/semantic_check.py (cross-TU layer
+#      DAG, wall-clock taint, RankDeath exception discipline, fiber-stack
+#      budget, bench/gate schema), each with its seeded-violation
+#      self-test; a failure prints the offending file:line rule table and
+#      a one-line per-rule summary ("<tool>: rule summary -- rule:count");
 #   3. the fast test subset (ctest -LE slow), which includes the trace
 #      acceptance test that exports a fig5-sized Chrome trace;
 #   4. trace-lint every file that acceptance run produced against
@@ -23,17 +26,39 @@
 #      bench_diff prints the per-category attribution of every regressed
 #      point.  After an intentional perf change, delete the baseline file
 #      (or re-run with QUICK_GATE_REBASELINE=1) to accept the new numbers.
-# Usage: tools/quick_gate.sh [build-dir]   (default: build)
+# Usage: tools/quick_gate.sh [--sanitize [thread|address]] [build-dir]
+#   default build-dir: build (or build-<sanitizer> under --sanitize).
+#   --sanitize re-runs the whole gate in a QUDA_SIM_SANITIZE-instrumented
+#   build tree (default thread); both sanitizers are expected clean
+#   (README "Sanitizers").
 set -euo pipefail
 cd "$(dirname "$0")/.."
-BUILD="${1:-build}"
 
-cmake -B "$BUILD" -S .
+SANITIZE=""
+if [ "${1:-}" = "--sanitize" ]; then
+  shift
+  case "${1:-}" in
+    thread|address) SANITIZE="$1"; shift ;;
+    *) SANITIZE="thread" ;;  # bare --sanitize: any next arg is the build dir
+  esac
+fi
+if [ -n "$SANITIZE" ]; then
+  BUILD="${1:-build-$SANITIZE}"
+  CMAKE_EXTRA=(-DQUDA_SIM_SANITIZE="$SANITIZE")
+else
+  BUILD="${1:-build}"
+  CMAKE_EXTRA=()
+fi
+
+cmake -B "$BUILD" -S . "${CMAKE_EXTRA[@]}"
 cmake --build "$BUILD" -j"$(nproc)"
 
-# static analysis gate: fails fast with the file:line rule table on stderr
+# static analysis gate: fails fast with the file:line rule table and the
+# per-rule summary line on stderr
 python3 tools/static_check.py
 python3 tools/static_check.py --self-test
+python3 tools/semantic_check.py
+python3 tools/semantic_check.py --self-test
 
 ctest --test-dir "$BUILD" -LE slow --output-on-failure -j"$(nproc)"
 

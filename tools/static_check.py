@@ -38,6 +38,13 @@ on the offending line or in the comment block directly above it; the reason
 is mandatory.  sim-unordered-iter additionally accepts `// SIM_ORDERED:
 <reason>` as its domain-specific justification.
 
+The cross-translation-unit rule families (sim-layering, sim-wallclock-taint,
+sim-death-swallow, sim-fiber-stack, sim-bench-schema) live in the companion
+pass layer tools/semantic_check.py, which builds a whole-project model
+(include graph, symbol table, call graph) on top of this file's lexer.
+Their names are registered here so NOLINT suppressions naming them
+validate, but the passes themselves run in semantic_check.py.
+
 Usage:
   static_check.py [--root DIR] [FILE ...]   lint the tree (or only FILEs,
                                             registry still tree-wide)
@@ -48,7 +55,9 @@ Usage:
                                             the EXPECT-LINT markers say
   static_check.py --list-rules              print the rule table
 
-Exit status 0 when clean, 1 on findings (or a failed self-test).
+Exit status: 0 when clean.  Distinct failure codes keep CI logs
+unambiguous: 1 means the tree carries findings (lint mode), 2 means the
+seeded-violation fixtures mismatched (--self-test mode).
 """
 
 import argparse
@@ -59,6 +68,9 @@ import sys
 SCAN_DIRS = ("src", "bench", "tests")
 SCAN_EXTS = (".h", ".cpp")
 FIXTURE_DIR = os.path.join("tests", "lint_fixtures")
+# the semantic fixture trees belong to tools/semantic_check.py --self-test;
+# this linter's fixture walk must not pick up their EXPECT-SEM markers
+SEMANTIC_FIXTURE_DIR = os.path.join(FIXTURE_DIR, "semantic")
 WALLCLOCK_SHIM = "src/core/wallclock.h"
 # the annotated-primitive layer itself: defines the macros / wraps the raw
 # std primitives, so the coverage rule does not apply to it
@@ -75,6 +87,24 @@ RULES = {
     "sim-mutex-coverage": "mutex/condvar member without annotation coverage",
     "sim-bad-suppression": "malformed NOLINT / SIM_ORDERED suppression",
 }
+
+# Whole-program rule families implemented by tools/semantic_check.py on the
+# cross-TU project model.  Registered here so a NOLINT naming one of them is
+# a valid suppression wherever suppressions are parsed.
+SEMANTIC_RULES = {
+    "sim-layering": "upward #include against the layer DAG in tools/layers.json",
+    "sim-wallclock-taint": "call path from sim-time code into a wall-clock/entropy-"
+                           "tainted function outside the allowlisted shim",
+    "sim-death-swallow": "generic catch that could swallow sim::RankDeath without "
+                         "rethrowing or proving death-safety",
+    "sim-fiber-stack": "stack frame over the fiber budget, or a recursion cycle, "
+                       "reachable from fiber entry points",
+    "sim-bench-schema": "bench metric emitted but not gated/allowlisted, or gated "
+                        "but never emitted (tools/bench_diff.py)",
+}
+
+# every rule name a NOLINT may legally reference
+KNOWN_RULES = {**RULES, **SEMANTIC_RULES}
 
 
 # --------------------------------------------------------------------------
@@ -276,7 +306,7 @@ class FileCtx:
                     self.report(ln, "sim-bad-suppression",
                                 "NOLINT needs an explicit rule list: NOLINT(sim-<rule>): <reason>")
                     continue
-                unknown = [r for r in rules if r not in RULES]
+                unknown = [r for r in rules if r not in KNOWN_RULES]
                 if unknown:
                     self.report(ln, "sim-bad-suppression",
                                 "NOLINT names unknown rule(s): " + ", ".join(unknown))
@@ -604,11 +634,22 @@ def print_findings(findings):
         print("  %-*s  %-*s  %s" % (wloc, loc, wrule, rule, msg), file=sys.stderr)
 
 
+def rule_summary_line(tool, findings):
+    """One line per failed run: '<tool>: rule summary -- rule:count ...'
+    (quick_gate.sh and CI grep for it)."""
+    counts = {}
+    for _, _, rule, _ in findings:
+        counts[rule] = counts.get(rule, 0) + 1
+    return "%s: rule summary -- %s" % (
+        tool, " ".join("%s:%d" % (r, counts[r]) for r in sorted(counts)))
+
+
 def run_lint(root, files):
     findings, suppressed, nfiles = scan_tree(root, files)
     if findings:
         print("static_check: FAIL -- %d finding(s):" % len(findings), file=sys.stderr)
         print_findings(findings)
+        print(rule_summary_line("static_check", findings), file=sys.stderr)
         print("static_check: suppress with '// NOLINT(sim-<rule>): <reason>' "
               "(reason mandatory); see README 'Static analysis'", file=sys.stderr)
         return 1
@@ -617,9 +658,16 @@ def run_lint(root, files):
     return 0
 
 
+def skip_semantic_dir(root, dirpath):
+    rel = os.path.relpath(dirpath, root).replace(os.sep, "/")
+    return rel.startswith(SEMANTIC_FIXTURE_DIR.replace(os.sep, "/"))
+
+
 def expected_from_fixtures(root, fdir):
     expected = set()
     for dirpath, _, names in os.walk(os.path.join(root, fdir)):
+        if skip_semantic_dir(root, dirpath):
+            continue
         for name in sorted(names):
             if not name.endswith(SCAN_EXTS):
                 continue
@@ -641,6 +689,8 @@ def run_self_test(root):
     fdir = FIXTURE_DIR.replace(os.sep, "/")
     fixture_paths = []
     for dirpath, _, names in os.walk(os.path.join(root, fdir)):
+        if skip_semantic_dir(root, dirpath):
+            continue
         for name in sorted(names):
             if name.endswith(SCAN_EXTS):
                 fixture_paths.append(os.path.relpath(os.path.join(dirpath, name), root))
@@ -674,7 +724,9 @@ def run_self_test(root):
         print("static_check --self-test: OK (%d seeded findings across %d rules all "
               "fired; %d suppression(s) honored)" % (len(expected), len(fired),
                                                      suppressed))
-    return 0 if ok else 1
+    # exit 2 (not 1) so CI logs can tell a fixture mismatch (the linter
+    # itself regressed) from tree findings (the tree regressed)
+    return 0 if ok else 2
 
 
 def main(argv):
@@ -691,6 +743,8 @@ def main(argv):
     if args.list_rules:
         for rule in sorted(RULES):
             print("%-28s %s" % (rule, RULES[rule]))
+        for rule in sorted(SEMANTIC_RULES):
+            print("%-28s %s  [semantic_check.py]" % (rule, SEMANTIC_RULES[rule]))
         return 0
     if args.self_test:
         return run_self_test(args.root)
